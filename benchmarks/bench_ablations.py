@@ -1,0 +1,183 @@
+"""Ablations of the five NestGPU optimizations (DESIGN.md section 4).
+
+For each optimization the bench runs the same query with the feature
+on and off and asserts (a) identical results, (b) the direction of the
+effect the paper motivates it with.
+"""
+
+from repro.core import NestGPU
+from repro.engine import EngineOptions
+from repro.tpch import generate_tpch, queries
+
+from conftest import save_report
+
+_TABLES = ("part", "partsupp", "supplier", "nation", "region")
+
+
+def _run(catalog, sql, **option_overrides):
+    options = EngineOptions(**option_overrides)
+    return NestGPU(catalog, options=options).execute(sql, mode="nested")
+
+
+def test_ablation_memory_pools(benchmark):
+    """Without pools, every operator in every iteration pays raw
+    device malloc/free — the overhead Section III-C eliminates."""
+    catalog = generate_tpch(10.0, tables=_TABLES)
+    sql = queries.PAPER_Q7
+
+    def run():
+        return (
+            _run(catalog, sql, use_vectorization=False),
+            _run(catalog, sql, use_vectorization=False, use_memory_pools=False),
+        )
+
+    pooled, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(map(repr, pooled.rows)) == sorted(map(repr, raw.rows))
+    assert raw.stats.malloc_calls > pooled.stats.malloc_calls
+    assert raw.total_ms > pooled.total_ms
+    save_report("ablation_pools", "\n".join([
+        "Ablation: memory pools (Query 7, loop path, SF 10)",
+        f"pools on:  {pooled.total_ms:9.3f} ms ({pooled.stats.malloc_calls} mallocs)",
+        f"pools off: {raw.total_ms:9.3f} ms ({raw.stats.malloc_calls} mallocs)",
+    ]))
+
+
+def test_ablation_vectorization_batch_sweep(benchmark):
+    """Fusing iterations into batches raises occupancy; larger batches
+    mean fewer fused launches (until one batch covers the loop)."""
+    catalog = generate_tpch(10.0, tables=_TABLES)
+    sql = queries.PAPER_Q7
+
+    def run():
+        loop = _run(catalog, sql, use_vectorization=False, use_cache=False)
+        batches = {
+            b: _run(catalog, sql, vector_batch=b, use_cache=False)
+            for b in (8, 64, 512)
+        }
+        return loop, batches
+
+    loop, batches = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = sorted(map(repr, loop.rows))
+    lines = ["Ablation: vectorization (Query 7, SF 10, cache off)",
+             f"loop (batch=1): {loop.total_ms:9.3f} ms "
+             f"({loop.stats.kernel_launches} launches)"]
+    for b, result in batches.items():
+        assert sorted(map(repr, result.rows)) == reference
+        lines.append(
+            f"batch={b:<5d}     {result.total_ms:9.3f} ms "
+            f"({result.stats.kernel_launches} launches)"
+        )
+    save_report("ablation_vectorization", "\n".join(lines))
+    # every batched configuration beats the per-iteration loop
+    for result in batches.values():
+        assert result.total_ms < loop.total_ms
+        assert result.stats.kernel_launches < loop.stats.kernel_launches
+    # launch counts shrink as the batch grows
+    launches = [batches[b].stats.kernel_launches for b in (8, 64, 512)]
+    assert launches == sorted(launches, reverse=True)
+
+
+def test_ablation_caching_vs_skew(benchmark):
+    """Caching pays exactly when the correlated column repeats: on a
+    skewed outer column most iterations become dictionary hits."""
+    import numpy as np
+
+    from repro.storage import Catalog, Table, int_type
+
+    INT = int_type(4)
+    rng = np.random.default_rng(9)
+    n_r, n_s = 3_000, 30_000
+    skewed_keys = rng.zipf(1.6, size=n_r) % 40  # heavy repetition
+    uniform_keys = rng.integers(0, 3_000, size=n_r)  # nearly unique
+
+    def catalog(keys):
+        r = Table.from_pydict(
+            "r", [("r_col1", INT), ("r_col2", INT)],
+            {"r_col1": keys, "r_col2": rng.integers(0, 100, size=n_r)},
+        )
+        s = Table.from_pydict(
+            "s", [("s_col1", INT), ("s_col2", INT)],
+            {
+                "s_col1": rng.integers(0, 3_000, size=n_s),
+                "s_col2": rng.integers(0, 100, size=n_s),
+            },
+        )
+        return Catalog([r, s])
+
+    sql = queries.PAPER_Q1
+
+    def run():
+        results = {}
+        for name, keys in (("skewed", skewed_keys), ("uniform", uniform_keys)):
+            cat = catalog(keys)
+            on = _run(cat, sql, use_vectorization=False)
+            off = _run(cat, sql, use_vectorization=False, use_cache=False)
+            results[name] = (on, off)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: caching vs parameter skew (Query 1 shape)"]
+    for name, (on, off) in results.items():
+        assert sorted(on.rows) == sorted(off.rows)
+        lines.append(
+            f"{name:8s} cache on:  {on.total_ms:9.3f} ms "
+            f"(hits {on.cache_hits}, misses {on.cache_misses})"
+        )
+        lines.append(f"{name:8s} cache off: {off.total_ms:9.3f} ms")
+    save_report("ablation_caching", "\n".join(lines))
+
+    skew_on, skew_off = results["skewed"]
+    assert skew_on.cache_hits > skew_on.cache_misses * 10
+    assert skew_on.total_ms < skew_off.total_ms
+    # caching helps far more under skew than under uniform keys
+    uni_on, uni_off = results["uniform"]
+    skew_gain = skew_off.total_ms / skew_on.total_ms
+    uni_gain = uni_off.total_ms / max(uni_on.total_ms, 1e-9)
+    assert skew_gain > uni_gain
+
+
+def test_ablation_invariant_extraction(benchmark):
+    """Hoisting the invariant supplier/nation/region subtree and its
+    hash table out of Q2's loop saves re-evaluating it per iteration."""
+    catalog = generate_tpch(10.0, tables=_TABLES)
+    sql = queries.TPCH_Q2
+
+    def run():
+        return (
+            _run(catalog, sql, use_vectorization=False),
+            _run(catalog, sql, use_vectorization=False,
+                 use_invariant_extraction=False),
+        )
+
+    hoisted, repeated = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(map(repr, hoisted.rows)) == sorted(map(repr, repeated.rows))
+    assert hoisted.stats.kernel_launches < repeated.stats.kernel_launches
+    assert hoisted.total_ms < repeated.total_ms
+    save_report("ablation_invariants", "\n".join([
+        "Ablation: invariant extraction (TPC-H Q2, loop path, SF 10)",
+        f"hoisted:  {hoisted.total_ms:9.3f} ms ({hoisted.stats.kernel_launches} launches)",
+        f"repeated: {repeated.total_ms:9.3f} ms ({repeated.stats.kernel_launches} launches)",
+    ]))
+
+
+def test_ablation_all_optimizations(benchmark):
+    """The full optimization stack: everything on vs everything off."""
+    catalog = generate_tpch(5.0, tables=_TABLES)
+    sql = queries.TPCH_Q2
+
+    def run():
+        on = NestGPU(catalog).execute(sql, mode="nested")
+        off = NestGPU(catalog, options=EngineOptions.all_off()).execute(
+            sql, mode="nested"
+        )
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(map(repr, on.rows)) == sorted(map(repr, off.rows))
+    assert off.total_ms > on.total_ms * 10
+    save_report("ablation_all", "\n".join([
+        "Ablation: full optimization stack (TPC-H Q2, SF 5)",
+        f"all on:  {on.total_ms:9.3f} ms",
+        f"all off: {off.total_ms:9.3f} ms",
+        f"speedup: {off.total_ms / on.total_ms:9.1f}x",
+    ]))

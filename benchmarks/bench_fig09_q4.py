@@ -1,0 +1,38 @@
+"""Figure 9: TPC-H Q4 (EXISTS subquery), scale factors 1-20.
+
+Paper shape: NestGPU executes the EXISTS through a GPU semi-join and
+beats PostgreSQL (2.4-6.9x on the nested form; 14-66x on the unnested
+form) and OmniSci (7-15x).  The unnested form is *slower* than the
+nested form on PostgreSQL because of the added dedup GROUP BY.
+GPUDB+ is excluded, as in the paper (its GROUP BY failed on Q4).
+"""
+
+from repro.bench import figure9_q4, format_sweep, speedup
+
+from conftest import save_report
+
+
+def test_fig09_tpch_q4(benchmark):
+    sweep = benchmark.pedantic(figure9_q4, rounds=1, iterations=1)
+    save_report("fig09_q4", format_sweep(sweep))
+
+    assert "GPUDB+" not in sweep.systems()
+
+    for sf in sweep.scale_factors():
+        # the paper's counter-intuitive result: unnesting hurts pgSQL Q4
+        nested = sweep.cell("pgSQL(nested)", sf).time_ms
+        unnested = sweep.cell("pgSQL(unnested)", sf).time_ms
+        assert unnested > nested
+        # NestGPU ahead of both pgSQL forms and OmniSci
+        nest = sweep.cell("NestGPU", sf).time_ms
+        assert nest < nested
+        assert nest < unnested
+        assert nest < sweep.cell("OmniSci", sf).time_ms
+
+    # speedup over unnested pgSQL grows with scale (paper: 14.5x -> 66x)
+    gains = [
+        speedup(sweep, "NestGPU", "pgSQL(unnested)", sf)
+        for sf in sweep.scale_factors()
+    ]
+    assert gains[-1] > gains[0]
+    assert gains[-1] > 50

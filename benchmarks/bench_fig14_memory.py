@@ -1,0 +1,36 @@
+"""Figure 14: Query 8 on an 8 GB-class device — memory headroom.
+
+Paper shape: the unnested method's derived table (the inner block
+grouped over every region) exhausts the GTX 1080's memory at scale
+factor >= 80, while NestGPU's nested execution — which only ever
+materialises one iteration's intermediates plus a result vector —
+completes every point up to SF 100.  Below the crossover the two are
+within a small factor of each other.
+"""
+
+from repro.bench import FIG14_DEVICE_BYTES, figure14_memory, format_sweep
+
+from conftest import save_report
+
+
+def test_fig14_query8_memory(benchmark):
+    sweep = benchmark.pedantic(figure14_memory, rounds=1, iterations=1)
+    save_report("fig14_memory", format_sweep(sweep))
+
+    # NestGPU completes every scale factor within the device budget
+    for m in sweep.series("NestGPU"):
+        assert m.ran, f"NestGPU failed at SF {m.scale_factor}"
+        assert m.extra["peak_device_bytes"] <= FIG14_DEVICE_BYTES
+
+    # GPUDB+ runs out of memory exactly at the paper's crossover
+    for m in sweep.series("GPUDB+"):
+        if m.scale_factor >= 80:
+            assert not m.ran and m.note == "out of memory"
+        else:
+            assert m.ran
+
+    # below the crossover both run and stay within a small factor
+    for sf in (20.0, 40.0, 60.0):
+        nest = sweep.cell("NestGPU", sf).time_ms
+        plus = sweep.cell("GPUDB+", sf).time_ms
+        assert max(nest, plus) / min(nest, plus) < 4

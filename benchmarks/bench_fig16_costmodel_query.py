@@ -1,0 +1,34 @@
+"""Figure 16: cost-model verification for the whole Query 4.
+
+Paper shape: the Eq. (6)-(9) prediction (outer block measured,
+invariants measured once, loop extrapolated from probed islands with
+the cache's Ch term) tracks the real execution across scale factors
+with error up to 12.7% at SF 20.
+"""
+
+from repro.bench import figure16_query_cost
+
+from conftest import save_report
+
+
+def test_fig16_query_cost(benchmark):
+    rows = benchmark.pedantic(figure16_query_cost, rounds=1, iterations=1)
+
+    lines = ["Figure 16: whole-query cost model verification (Query 4)",
+             "---------------------------------------------------------",
+             f"{'SF':>5s} {'real ms':>10s} {'predicted':>10s} {'error':>8s} {'S':>7s} {'Ch':>7s}"]
+    for v in rows:
+        lines.append(
+            f"{v.scale_factor:5.0f} {v.real_ms:10.4f} {v.predicted_ms:10.4f} "
+            f"{v.error * 100:7.2f}% {v.iterations:7d} {v.cache_hits:7d}"
+        )
+    save_report("fig16_costmodel_query", "\n".join(lines))
+
+    # error bounded by the paper's band (<= 12.7% at SF 20; we allow a
+    # little headroom for micro-scale noise)
+    for v in rows:
+        assert v.error < 0.15, (v.scale_factor, v.error)
+
+    # predictions scale with the data like reality does
+    assert rows[-1].predicted_ms > rows[0].predicted_ms
+    assert rows[-1].real_ms > rows[0].real_ms

@@ -1,0 +1,77 @@
+"""Quickstart: run a correlated subquery through NestGPU.
+
+Builds a tiny two-table catalog, executes the paper's motivating
+Query 1 (a correlated min-subquery) with the nested method, and shows
+the generated drive program — the iterative loop the code generator
+emits in place of the ``SUBQ`` operator.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Catalog, NestGPU
+from repro.storage import Table, int_type
+
+INT = int_type(4)
+
+
+def build_catalog() -> Catalog:
+    """The R/S schema of the paper's Query 1."""
+    rng = np.random.default_rng(1)
+    r = Table.from_pydict(
+        "r",
+        [("r_col1", INT), ("r_col2", INT)],
+        {
+            "r_col1": rng.integers(0, 10, size=20),
+            "r_col2": rng.integers(0, 30, size=20),
+        },
+    )
+    s = Table.from_pydict(
+        "s",
+        [("s_col1", INT), ("s_col2", INT)],
+        {
+            "s_col1": rng.integers(0, 10, size=100),
+            "s_col2": rng.integers(0, 30, size=100),
+        },
+    )
+    return Catalog([r, s])
+
+
+QUERY_1 = """
+SELECT r_col1, r_col2
+FROM r
+WHERE r_col2 = (
+  SELECT min(s_col2)
+  FROM s
+  WHERE r_col1 = s_col1)
+"""
+
+
+def main() -> None:
+    catalog = build_catalog()
+    db = NestGPU(catalog)
+
+    print("=== generated drive program (nested method) ===")
+    print(db.drive_source(QUERY_1, mode="nested"))
+
+    result = db.execute(QUERY_1, mode="nested")
+    print("=== results ===")
+    print(result.column_names)
+    for row in result.rows:
+        print(row)
+
+    print()
+    print(f"rows:              {result.num_rows}")
+    print(f"modelled time:     {result.total_ms:.4f} ms of device time")
+    print(f"kernel launches:   {result.stats.kernel_launches}")
+    print(f"cache hits/misses: {result.cache_hits}/{result.cache_misses}")
+
+    # the unnested rewrite (the paper's Query 2) gives identical rows
+    unnested = db.execute(QUERY_1, mode="unnested")
+    assert sorted(unnested.rows) == sorted(result.rows)
+    print(f"unnested method:   {unnested.total_ms:.4f} ms — same results")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduce the paper's system comparison on TPC-H Q2, Q4, and Q17.
+
+Runs all six systems (PostgreSQL nested/unnested, MonetDB-like,
+OmniSci-like, GPUDB+, NestGPU) at a chosen micro scale factor and
+prints a table per query — the data behind Figures 8-10.
+
+Run:  python examples/tpch_comparison.py [scale_factor]
+"""
+
+import sys
+
+from repro.baselines import all_systems
+from repro.tpch import generate_tpch, queries
+
+
+def main(scale_factor: float = 5.0) -> None:
+    print(f"generating micro-scale TPC-H at SF {scale_factor} ...")
+    catalog = generate_tpch(scale_factor)
+    for table in catalog:
+        print(f"  {table.name:10s} {table.num_rows:>8d} rows")
+
+    for name in ("tpch_q2", "tpch_q4", "tpch_q17"):
+        sql = queries.ALL_EVALUATION_QUERIES[name]
+        print(f"\n=== {name.upper()} ===")
+        reference = None
+        for system in all_systems(catalog):
+            try:
+                result = system.execute(sql)
+            except Exception as exc:  # UnnestingError etc.
+                print(f"  {system.name:18s} -- {type(exc).__name__}")
+                continue
+            rows = sorted(
+                tuple(round(v, 4) if isinstance(v, float) else v for v in row)
+                for row in result.rows
+            )
+            if reference is None:
+                reference = rows
+            agreement = "ok" if rows == reference else "DIFFERS"
+            print(
+                f"  {system.name:18s} {result.total_ms:12.3f} ms "
+                f"({result.num_rows:4d} rows, {agreement})"
+            )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 5.0)

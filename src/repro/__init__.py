@@ -1,0 +1,27 @@
+"""NestGPU reproduction: nested (correlated) subquery processing on a
+simulated GPU column store.
+
+Public entry points:
+
+* :func:`repro.tpch.generate_tpch` — build a micro-scale TPC-H catalog.
+* :class:`repro.core.NestGPU` — the paper's system: nested-method
+  execution with code generation, plus cost-model-driven fallback.
+* :mod:`repro.baselines` — the comparison systems of the evaluation.
+"""
+
+from .storage import Catalog, Table
+from .tpch import generate_tpch
+
+__version__ = "1.0.0"
+
+__all__ = ["Catalog", "NestGPU", "Table", "__version__", "generate_tpch"]
+
+
+def __getattr__(name: str):
+    # NestGPU pulls in the whole engine stack; import it lazily so that
+    # `import repro` stays cheap for storage-only users.
+    if name == "NestGPU":
+        from .core import NestGPU
+
+        return NestGPU
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,32 @@
+"""Comparison systems: PostgreSQL-, MonetDB-, OmniSci- and GPUDB-like,
+plus a Volcano iterator engine (paper Figure 2) used as an independent
+correctness oracle."""
+
+from .rowstore import RowstoreEngine, RowstoreResult
+from .specs import monetdb_spec, omnisci_spec, postgres_spec
+from .systems import (
+    BaselineSystem,
+    GPUDBPlus,
+    MonetDBLike,
+    NestGPUSystem,
+    OmniSciLike,
+    PostgresNested,
+    PostgresUnnested,
+    all_systems,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "GPUDBPlus",
+    "MonetDBLike",
+    "NestGPUSystem",
+    "OmniSciLike",
+    "PostgresNested",
+    "PostgresUnnested",
+    "RowstoreEngine",
+    "RowstoreResult",
+    "all_systems",
+    "monetdb_spec",
+    "omnisci_spec",
+    "postgres_spec",
+]

@@ -1,0 +1,115 @@
+"""Benchmark harness: scale-factor sweeps over query/system matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import DeviceMemoryError, UnnestingError
+from ..storage import Catalog
+from ..tpch import generate_tpch
+
+
+@dataclass
+class Measurement:
+    """One (system, scale factor) cell of a figure."""
+
+    system: str
+    scale_factor: float
+    time_ms: float | None  # None = did not run (OOM / cannot unnest)
+    rows: int | None = None
+    note: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ran(self) -> bool:
+        return self.time_ms is not None
+
+
+@dataclass
+class Sweep:
+    """All measurements of one figure."""
+
+    title: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def add(self, measurement: Measurement) -> None:
+        self.measurements.append(measurement)
+
+    def series(self, system: str) -> list[Measurement]:
+        return [m for m in self.measurements if m.system == system]
+
+    def cell(self, system: str, scale_factor: float) -> Measurement:
+        for m in self.measurements:
+            if m.system == system and m.scale_factor == scale_factor:
+                return m
+        raise KeyError((system, scale_factor))
+
+    def systems(self) -> list[str]:
+        seen: list[str] = []
+        for m in self.measurements:
+            if m.system not in seen:
+                seen.append(m.system)
+        return seen
+
+    def scale_factors(self) -> list[float]:
+        seen: list[float] = []
+        for m in self.measurements:
+            if m.scale_factor not in seen:
+                seen.append(m.scale_factor)
+        return seen
+
+    def to_csv(self) -> str:
+        """Plot-ready CSV: one row per (system, scale factor) cell."""
+        lines = ["system,scale_factor,time_ms,rows,note"]
+        for m in self.measurements:
+            time_str = f"{m.time_ms:.6f}" if m.time_ms is not None else ""
+            rows_str = str(m.rows) if m.rows is not None else ""
+            lines.append(
+                f"{m.system},{m.scale_factor:g},{time_str},{rows_str},{m.note}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def run_sweep(
+    title: str,
+    sql: str,
+    system_factories: Sequence[tuple[str, Callable[[Catalog], object]]],
+    scale_factors: Sequence[float],
+    tables: tuple[str, ...] | None = None,
+    seed: int = 0,
+) -> Sweep:
+    """Execute ``sql`` on every system at every scale factor.
+
+    Systems that cannot run a configuration record ``time_ms=None``
+    with a note — exactly how the paper handles PostgreSQL's timeouts
+    and GPUDB+'s out-of-memory points.
+    """
+    sweep = Sweep(title)
+    for scale_factor in scale_factors:
+        catalog = generate_tpch(scale_factor, seed=seed, tables=tables)
+        for name, factory in system_factories:
+            system = factory(catalog)
+            try:
+                result = system.execute(sql)
+            except UnnestingError:
+                sweep.add(Measurement(name, scale_factor, None, note="cannot unnest"))
+                continue
+            except DeviceMemoryError:
+                sweep.add(Measurement(name, scale_factor, None, note="out of memory"))
+                continue
+            sweep.add(
+                Measurement(
+                    name,
+                    scale_factor,
+                    result.total_ms,
+                    rows=result.num_rows,
+                    extra={
+                        "kernel_launches": result.stats.kernel_launches,
+                        "transfer_fraction": result.stats.transfer_fraction,
+                        "peak_device_bytes": result.stats.peak_device_bytes,
+                        "cache_hits": result.cache_hits,
+                    },
+                )
+            )
+    return sweep

@@ -1,0 +1,164 @@
+"""A small interactive shell for the NestGPU reproduction.
+
+Usage:
+
+    python -m repro.cli --scale 5                 # REPL over TPC-H
+    python -m repro.cli --scale 5 -q "SELECT ..." # one-shot query
+    python -m repro.cli --mode nested --explain -q "..."
+
+Inside the REPL, terminate statements with ``;``.  Meta-commands:
+``\\d`` lists tables, ``\\explain <sql>`` shows the plan and the
+transient/invariant marking, ``\\source <sql>`` prints the generated
+drive program, ``\\q`` quits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import NestGPU, QueryResult
+from .engine import EngineOptions
+from .errors import ReproError
+from .gpu import DeviceSpec
+from .tpch import generate_tpch
+
+
+def format_result(result: QueryResult, max_rows: int = 40) -> str:
+    """Render a query result as an aligned text table."""
+    header = result.column_names
+    def render(value) -> str:
+        if isinstance(value, float):
+            return str(int(value)) if value.is_integer() else f"{value:.4f}"
+        return str(value)
+
+    rows = [
+        tuple(render(v) for v in row) for row in result.rows[:max_rows]
+    ]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if result.num_rows > max_rows:
+        lines.append(f"... ({result.num_rows - max_rows} more rows)")
+    lines.append(
+        f"({result.num_rows} rows; {result.total_ms:.3f} ms modelled "
+        f"device time; path: {result.plan_choice})"
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Run SQL against the NestGPU reproduction on micro-scale TPC-H.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="TPC-H micro scale factor (default 1)",
+    )
+    parser.add_argument(
+        "--mode", choices=("auto", "nested", "unnested"), default="auto",
+        help="execution mode (default: the cost model decides)",
+    )
+    parser.add_argument(
+        "--device", choices=("v100", "gtx1080"), default="v100",
+        help="simulated device preset",
+    )
+    parser.add_argument(
+        "-q", "--query", help="run one statement and exit",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="with -q: print the plan instead of executing",
+    )
+    parser.add_argument(
+        "--source", action="store_true",
+        help="with -q: print the generated drive program instead of executing",
+    )
+    return parser
+
+
+def make_engine(args) -> NestGPU:
+    device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
+    catalog = generate_tpch(args.scale)
+    return NestGPU(catalog, device=device, options=EngineOptions(), mode=args.mode)
+
+
+def run_statement(db: NestGPU, sql: str, explain: bool = False,
+                  source: bool = False) -> str:
+    if explain:
+        return db.explain(sql)
+    if source:
+        return db.drive_source(sql)
+    return format_result(db.execute(sql))
+
+
+def repl(db: NestGPU, stdin=None, stdout=None) -> None:
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    buffer: list[str] = []
+    print("NestGPU reproduction shell — \\q quits, \\d lists tables", file=stdout)
+    for line in stdin:
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            command, _, rest = stripped.partition(" ")
+            if command == "\\q":
+                return
+            if command == "\\d":
+                for table in db.catalog:
+                    print(f"  {table.name:12s} {table.num_rows:>9d} rows", file=stdout)
+                continue
+            if command in ("\\explain", "\\source"):
+                try:
+                    sql = rest.rstrip(";")
+                    output = run_statement(
+                        db, sql,
+                        explain=(command == "\\explain"),
+                        source=(command == "\\source"),
+                    )
+                    print(output, file=stdout)
+                except ReproError as exc:
+                    print(f"error: {exc}", file=stdout)
+                continue
+            print(f"unknown command {command}", file=stdout)
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            sql = "\n".join(buffer)
+            buffer.clear()
+            try:
+                print(run_statement(db, sql), file=stdout)
+            except ReproError as exc:
+                print(f"error: {exc}", file=stdout)
+    # EOF with a pending statement: run it
+    if buffer:
+        sql = "\n".join(buffer)
+        try:
+            print(run_statement(db, sql), file=stdout)
+        except ReproError as exc:
+            print(f"error: {exc}", file=stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = make_engine(args)
+    if args.query:
+        try:
+            print(run_statement(db, args.query, args.explain, args.source))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    repl(db)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""NestGPU core: code generation, nested execution, cost model."""
+
+from .caching import SubqueryCache
+from .codegen import CodeGenerator, DriveProgram, generate_drive_program
+from .costmodel import (
+    NestedPrediction,
+    aggregate_cost_ns,
+    choose_execution_path,
+    estimate_flat_plan_ns,
+    join_cost_ns,
+    predict_nested,
+    selection_cost_ns,
+    sort_cost_ns,
+)
+from .executor import NestGPU, PreparedQuery, QueryResult
+from .indexing import CorrelatedIndex, index_pays_off
+from .runtime import Runtime, SubqueryProgram
+from .subquery import (
+    ExistsResultVector,
+    ScalarResultVector,
+    TwoLevelResultVector,
+)
+
+__all__ = [
+    "CodeGenerator",
+    "CorrelatedIndex",
+    "DriveProgram",
+    "ExistsResultVector",
+    "NestGPU",
+    "NestedPrediction",
+    "PreparedQuery",
+    "QueryResult",
+    "Runtime",
+    "ScalarResultVector",
+    "SubqueryCache",
+    "SubqueryProgram",
+    "TwoLevelResultVector",
+    "aggregate_cost_ns",
+    "choose_execution_path",
+    "estimate_flat_plan_ns",
+    "generate_drive_program",
+    "index_pays_off",
+    "join_cost_ns",
+    "predict_nested",
+    "selection_cost_ns",
+    "sort_cost_ns",
+]

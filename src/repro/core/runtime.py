@@ -1,0 +1,641 @@
+"""Runtime support for generated drive programs.
+
+The code generator (:mod:`repro.core.codegen`) emits a Python drive
+program — the analogue of the paper's generated CUDA/C driver — whose
+statements call into the :class:`Runtime` below.  The runtime owns the
+node registry, the per-subquery state (:class:`SubqueryProgram`), the
+memory-pool marks, and the per-node timing used by the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..engine import operators as ops
+from ..engine.evaluator import run_plan
+from ..engine.exprs import evaluate
+from ..engine.relation import Relation, computed_column
+from ..gpu import kernels
+from ..plan.expressions import (
+    AggRef,
+    ColRef,
+    NotOp,
+    PlanExpr,
+    SubqueryRef,
+    referenced_params,
+)
+from ..plan.invariants import InvariantInfo, mark_invariants
+from ..plan.nodes import Aggregate, Filter, Join, Plan, Project, Scan, SubqueryFilter
+from . import vectorize
+from .caching import SubqueryCache
+from .indexing import CorrelatedIndex, index_pays_off
+from .subquery import (
+    ExistsResultVector,
+    ScalarResultVector,
+    TwoLevelResultVector,
+)
+
+
+class SubqueryProgram:
+    """Compiled state for one SUBQ: plan, invariants, caches, indexes."""
+
+    def __init__(self, ctx, descriptor, plan: Plan, batch_size: int):
+        self.ctx = ctx
+        self.descriptor = descriptor
+        self.plan = plan
+        self.info: InvariantInfo = mark_invariants(plan)
+        self.param_quals: tuple[str, ...] = descriptor.free_quals
+        self.cache = SubqueryCache(enabled=ctx.options.use_cache)
+        self.vectorized = (
+            ctx.options.use_vectorization
+            and descriptor.kind in ("scalar", "exists")
+            and vectorize.can_vectorize(plan, self.info)
+        )
+        self.batch_size = batch_size
+        self._invariant_memo: dict[int, Relation] = {}
+        self._base_memo: dict[int, Relation] = {}
+        self._hash_memo: dict[int, object] = {}
+        self._index_memo: dict[int, CorrelatedIndex | None] = {}
+        self._expected_iterations = 0
+
+    # -- invariant extraction (paper Section III-D) -----------------------
+
+    def eval_invariants(self, iterations: int) -> None:
+        """Evaluate invariant components once, before the loop.
+
+        With invariant extraction disabled the memos stay empty and
+        every iteration recomputes the invariant subtrees (the ablation
+        configuration).
+        """
+        self._expected_iterations = iterations
+        if not self.ctx.options.use_invariant_extraction:
+            return
+        for node in self.plan.walk():
+            if id(node) in self.info.invariant_roots:
+                self.invariant_relation(node)
+
+    def invariant_relation(self, node: Plan) -> Relation:
+        key = id(node)
+        if key in self._invariant_memo:
+            return self._invariant_memo[key]
+        rel = run_plan(self.ctx, node)
+        if self.ctx.options.use_invariant_extraction:
+            self._invariant_memo[key] = rel
+        return rel
+
+    def base_relation(self, node: Scan) -> Relation:
+        """The scan's rows after its *non-correlated* filters.
+
+        Evaluated once and reused by every iteration; the correlated
+        predicate is applied per iteration (or per batch) on top.
+        """
+        key = id(node)
+        if key in self._base_memo:
+            return self._base_memo[key]
+        plain = [f for f in node.filters if not referenced_params(f)]
+        rel = ops.scan(
+            self.ctx, node.table, node.binding, plain, None, node.columns
+        )
+        if self.ctx.options.use_invariant_extraction:
+            self._base_memo[key] = rel
+        return rel
+
+    def hoisted_hash(self, node: Join, invariant_rel: Relation, key: PlanExpr):
+        """The invariant child's hash table, built once."""
+        memo_key = id(node)
+        if memo_key in self._hash_memo:
+            return self._hash_memo[memo_key]
+        table = ops.build_hash(self.ctx, invariant_rel, key)
+        if self.ctx.options.use_invariant_extraction:
+            self._hash_memo[memo_key] = table
+        return table
+
+    def scan_index(self, node: Scan, base: Relation, key_col: ColRef):
+        """The sorted index over the scan's correlated column, if built."""
+        memo_key = id(node)
+        if memo_key not in self._index_memo:
+            build = self.ctx.options.use_index and index_pays_off(
+                base.num_rows,
+                self._expected_iterations,
+                self.ctx.options.index_min_iterations,
+            )
+            if build:
+                values = base.column(key_col.qual).data
+                index = CorrelatedIndex.build(self.ctx.device, values)
+                self.ctx.alloc_scratch(index.nbytes)
+                self._index_memo[memo_key] = index
+            else:
+                self._index_memo[memo_key] = None
+        return self._index_memo[memo_key]
+
+
+class Runtime:
+    """The object a generated drive program receives as ``rt``."""
+
+    def __init__(self, ctx, nodes: list[Plan], subqueries: list[SubqueryProgram]):
+        self.ctx = ctx
+        self.nodes = nodes
+        self.subprograms = subqueries
+        self.node_times_ns: dict[int, float] = {}
+        self.node_output_rows: dict[int, int] = {}
+
+    # -- timing -------------------------------------------------------------
+
+    def _timed(self, node_id: int, fn):
+        before = self.ctx.device.stats.total_ns
+        result = fn()
+        self.node_times_ns[node_id] = (
+            self.node_times_ns.get(node_id, 0.0)
+            + self.ctx.device.stats.total_ns
+            - before
+        )
+        if isinstance(result, Relation):
+            self.node_output_rows[node_id] = (
+                self.node_output_rows.get(node_id, 0) + result.num_rows
+            )
+        return result
+
+    # -- flat operators (outer plan) ---------------------------------------
+
+    def scan(self, node_id: int) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.scan(
+            self.ctx, node.table, node.binding, node.filters, None, node.columns
+        ))
+
+    def derived(self, node_id: int, inner: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return inner.renamed_prefix(node.binding)
+
+    def join(self, node_id: int, left: Relation, right: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.join(
+            self.ctx, left, right, node.left_key, node.right_key,
+            build_side=node.build_side,
+        ))
+
+    def cross_join(self, node_id: int, left: Relation, right: Relation) -> Relation:
+        return self._timed(node_id, lambda: ops.cross_join(self.ctx, left, right))
+
+    def filter(self, node_id: int, rel: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.filter_rel(
+            self.ctx, rel, node.predicate
+        ))
+
+    def semi_join(self, node_id: int, outer: Relation, inner: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.semi_join(
+            self.ctx, outer, inner, node.outer_key, node.inner_key, node.negated
+        ))
+
+    def aggregate(self, node_id: int, rel: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.aggregate(
+            self.ctx, rel, node.groups, node.aggs, node.having
+        ))
+
+    def project(self, node_id: int, rel: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.project(
+            self.ctx, rel, node.exprs, node.names
+        ))
+
+    def distinct(self, node_id: int, rel: Relation) -> Relation:
+        return self._timed(node_id, lambda: ops.distinct(self.ctx, rel))
+
+    def sort(self, node_id: int, rel: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.sort(
+            self.ctx, rel, node.keys, node.descending
+        ))
+
+    def limit(self, node_id: int, rel: Relation) -> Relation:
+        node = self.nodes[node_id]
+        return ops.limit(self.ctx, rel, node.count)
+
+    def fetch(self, rel: Relation) -> Relation:
+        return ops.fetch_result(self.ctx, rel)
+
+    def rows(self, rel: Relation) -> int:
+        return rel.num_rows
+
+    # -- subquery machinery ---------------------------------------------------
+
+    def subquery(self, index: int) -> SubqueryProgram:
+        return self.subprograms[index]
+
+    def correlated_values(
+        self,
+        sp: SubqueryProgram,
+        outer: Relation,
+        outer_env: dict[str, float] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Pull the correlated columns to the host for loop control.
+
+        The drive program runs on the CPU, so the parameter values
+        cross PCIe once (charged), exactly as the paper's driver does.
+        Quals not present in ``outer`` belong to an enclosing loop
+        level and are broadcast from its environment (Figure 6).
+        """
+        values = {}
+        for qual in sp.param_quals:
+            if qual in outer:
+                column = outer.column(qual)
+                self.ctx.device.transfer_d2h(column.nbytes)
+                values[qual] = column.data
+            elif outer_env is not None and qual in outer_env:
+                values[qual] = np.full(outer.num_rows, outer_env[qual])
+            else:
+                raise ExecutionError(
+                    f"correlated parameter {qual} unavailable in this scope"
+                )
+        return values
+
+    def uncorrelated_vector(self, outer: Relation, sp: SubqueryProgram):
+        """Type-A/N subquery: evaluate once, broadcast into a vector."""
+        inner = run_plan(self.ctx, sp.plan)
+        if sp.descriptor.kind == "exists":
+            vector = ExistsResultVector(outer.num_rows)
+            vector.flags[:] = inner.num_rows > 0
+        elif sp.descriptor.kind == "in":
+            vector = TwoLevelResultVector(outer.num_rows)
+            values = next(iter(inner.columns.values())).data.astype(np.float64)
+            for row in range(outer.num_rows):
+                vector.store(row, values)
+        else:
+            if inner.num_rows != 1:
+                raise ExecutionError(
+                    f"scalar subquery produced {inner.num_rows} rows"
+                )
+            value = float(next(iter(inner.columns.values())).data[0])
+            vector = ScalarResultVector(outer.num_rows)
+            vector.values[:] = value
+            vector.valid[:] = not np.isnan(value)
+        return vector
+
+    def left_lookup(self, node_id: int, child: Relation, inner: Relation) -> Relation:
+        """Outer-join lookup (Dayal count unnesting)."""
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.left_lookup(
+            self.ctx, child, inner, node.outer_key, node.inner_key,
+            node.value_column, node.output_name, node.default,
+        ))
+
+    def new_result(self, sp: SubqueryProgram, outer: Relation):
+        size = outer.num_rows
+        if sp.descriptor.kind == "exists":
+            vector = ExistsResultVector(size)
+        elif sp.descriptor.kind == "in":
+            vector = TwoLevelResultVector(size)
+        else:
+            vector = ScalarResultVector(size)
+        self.ctx.alloc_intermediate(vector.nbytes)
+        return vector
+
+    def eval_invariants(self, sp: SubqueryProgram, outer: Relation) -> None:
+        sp.eval_invariants(outer.num_rows)
+
+    # pools -------------------------------------------------------------
+
+    def mark_pools(self):
+        if self.ctx.options.use_memory_pools:
+            return self.ctx.pools.mark_all()
+        return None
+
+    def restore_pools(self, marks) -> None:
+        if marks is not None:
+            self.ctx.pools.restore_all(marks)
+        else:
+            # no pools: per-iteration raw deallocation, paying the
+            # malloc/free overhead the pools exist to avoid
+            self.ctx.raw_alloc.free_all()
+
+    # per-iteration (loop) path -------------------------------------------
+
+    def param_env(
+        self, sp: SubqueryProgram, corr: dict[str, np.ndarray], i: int
+    ) -> dict[str, float]:
+        return {qual: corr[qual][i] for qual in sp.param_quals}
+
+    def cache_get(self, sp: SubqueryProgram, env: dict[str, float]):
+        key = tuple(env[q] for q in sp.param_quals)
+        return sp.cache.get(key)
+
+    def cache_put(self, sp, env, value: float, valid: bool) -> None:
+        key = tuple(env[q] for q in sp.param_quals)
+        sp.cache.put(key, value, valid)
+
+    def t_scan(self, sp: SubqueryProgram, node_id: int, env) -> Relation:
+        return self._t_scan(sp, self.nodes[node_id], env)
+
+    def _t_scan(self, sp: SubqueryProgram, node: Scan, env) -> Relation:
+        """Transient scan: base rows + the correlated predicate.
+
+        Uses the sorted index (binary search + slice gather) when one
+        was built; otherwise a full compare kernel over the base.
+        """
+        base = sp.base_relation(node)
+        correlated = [f for f in node.filters if referenced_params(f)]
+        rel = base
+        for position, predicate in enumerate(correlated):
+            eq = vectorize._equality_correlation(predicate)
+            if position == 0 and eq is not None:
+                key_col, qual = eq
+                index = sp.scan_index(node, base, key_col)
+                if index is not None:
+                    rows = index.lookup(self.ctx.device, env[qual])
+                    rel = rel.take_no_charge(rows)
+                    ops._materialize(self.ctx, rel)
+                    continue
+            rel = ops.filter_rel(self.ctx, rel, predicate, env)
+        self.ctx.operator_done()
+        return rel
+
+    def t_join(
+        self, sp: SubqueryProgram, node_id: int, left: Relation, right: Relation, env
+    ) -> Relation:
+        return self._t_join(sp, self.nodes[node_id], left, right, env)
+
+    def _t_join(
+        self, sp: SubqueryProgram, node: Join, left: Relation, right: Relation, env
+    ) -> Relation:
+        """Transient join; reuses the hoisted hash table when one side
+        is invariant."""
+        hoisted = id(node) in sp.info.hoisted_joins
+        if hoisted:
+            left_transient = sp.info.is_transient(node.left)
+            if left_transient:
+                invariant_rel, invariant_key = right, node.right_key
+                probe_rel, probe_key = left, node.left_key
+                side = "right"
+            else:
+                invariant_rel, invariant_key = left, node.left_key
+                probe_rel, probe_key = right, node.right_key
+                side = "left"
+            table = sp.hoisted_hash(node, invariant_rel, invariant_key)
+            if side == "right":
+                return ops.join(
+                    self.ctx, probe_rel, invariant_rel, probe_key,
+                    invariant_key, env, build_side="right", prebuilt=table,
+                )
+            return ops.join(
+                self.ctx, invariant_rel, probe_rel, invariant_key,
+                probe_key, env, build_side="left", prebuilt=table,
+            )
+        return ops.join(
+            self.ctx, left, right, node.left_key, node.right_key, env,
+            build_side=node.build_side,
+        )
+
+    def t_filter(self, sp, node_id: int, rel: Relation, env) -> Relation:
+        node = self.nodes[node_id]
+        return ops.filter_rel(self.ctx, rel, node.predicate, env)
+
+    def t_aggregate(self, sp, node_id: int, rel: Relation, env) -> Relation:
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.aggregate(
+            self.ctx, rel, node.groups, node.aggs, node.having, env
+        ))
+
+    def t_project(self, sp, node_id: int, rel: Relation, env) -> Relation:
+        node = self.nodes[node_id]
+        return ops.project(self.ctx, rel, node.exprs, node.names)
+
+    def invariant(self, sp: SubqueryProgram, node_id: int) -> Relation:
+        return sp.invariant_relation(self.nodes[node_id])
+
+    def run_iteration(self, sp: SubqueryProgram, env: dict[str, float]):
+        """One subquery iteration by direct plan walk.
+
+        The generated drive program inlines these steps statically;
+        this dynamic twin exists for the cost model's island probing
+        (Section IV), which needs to execute a handful of iterations
+        without generating code.
+        """
+        def walk(node: Plan) -> Relation:
+            if not sp.info.is_transient(node):
+                return sp.invariant_relation(node)
+            if isinstance(node, Scan):
+                return self._t_scan(sp, node, env)
+            if isinstance(node, Join):
+                return self._t_join(sp, node, walk(node.left), walk(node.right), env)
+            if isinstance(node, Filter):
+                return ops.filter_rel(self.ctx, walk(node.child), node.predicate, env)
+            if isinstance(node, Aggregate):
+                return ops.aggregate(
+                    self.ctx, walk(node.child), node.groups, node.aggs,
+                    node.having, env,
+                )
+            if isinstance(node, Project):
+                return ops.project(self.ctx, walk(node.child), node.exprs, node.names)
+            raise ExecutionError(f"cannot probe node {node!r}")
+
+        root = walk(sp.plan)
+        if sp.descriptor.kind == "exists":
+            return float(root.num_rows > 0), True
+        if sp.descriptor.kind == "in":
+            return self.values_from(root), True
+        return self.scalar_from(sp, root)
+
+    # result extraction ---------------------------------------------------
+
+    def scalar_from(self, sp, rel: Relation) -> tuple[float, bool]:
+        if rel.num_rows != 1:
+            raise ExecutionError(
+                f"scalar subquery produced {rel.num_rows} rows"
+            )
+        value = float(next(iter(rel.columns.values())).data[0])
+        return value, not np.isnan(value)
+
+    def exists_from(self, rel: Relation) -> bool:
+        return rel.num_rows > 0
+
+    def values_from(self, rel: Relation) -> np.ndarray:
+        return next(iter(rel.columns.values())).data.astype(np.float64)
+
+    def store_scalar(self, vector: ScalarResultVector, i: int, value, valid) -> None:
+        vector.store(i, value, valid)
+
+    def store_exists(self, vector: ExistsResultVector, i: int, flag: bool) -> None:
+        vector.store(i, flag)
+
+    def store_values(self, vector: TwoLevelResultVector, i, values) -> None:
+        vector.store(i, values)
+
+    def store_cached(self, vector, i: int, hit: tuple[float, bool]) -> None:
+        value, valid = hit
+        if isinstance(vector, ExistsResultVector):
+            vector.store(i, bool(value) and valid)
+        else:
+            vector.store(i, value, valid)
+
+    # vectorized path ----------------------------------------------------
+
+    def run_vector_batch(
+        self,
+        sp: SubqueryProgram,
+        corr: dict[str, np.ndarray],
+        lo: int,
+        hi: int,
+        vector,
+    ) -> None:
+        """One fused batch: cache probe, dedupe, segmented evaluation."""
+        rows = np.arange(lo, hi)
+        keys = list(
+            zip(*(corr[q][lo:hi].tolist() for q in sp.param_quals))
+        )
+        hit_rows, hit_values, miss_rows = sp.cache.probe_batch(keys)
+        for row, (value, valid) in zip(hit_rows, hit_values):
+            self.store_cached(vector, lo + row, (value, valid))
+        if not miss_rows:
+            return
+        # dedupe the misses: evaluate unique parameter tuples once
+        miss_keys = [keys[r] for r in miss_rows]
+        unique_keys, inverse = _unique_tuples(miss_keys)
+        batch = {
+            qual: np.asarray([key[k] for key in unique_keys])
+            for k, qual in enumerate(sp.param_quals)
+        }
+        result = vectorize.run_batch(sp, batch)
+        if sp.descriptor.kind == "exists":
+            flags = result
+            per_row = flags[inverse]
+            vector.store_rows(rows[miss_rows], per_row)
+            sp.cache.put_batch(
+                unique_keys, flags.astype(np.float64), np.ones(len(flags), bool)
+            )
+        else:
+            values, valid = result
+            vector.store_rows(
+                rows[miss_rows], values[inverse], valid[inverse]
+            )
+            sp.cache.put_batch(unique_keys, values, valid)
+
+    def append_subquery_column(
+        self, node_id: int, outer: Relation, vector
+    ) -> Relation:
+        """SELECT-list subquery: the result vector becomes a column.
+
+        Invalid (NULL) scalars stay NaN, which decodes as NaN — the
+        library's NULL representation for computed columns.
+        """
+        node = self.nodes[node_id]
+
+        def run():
+            if isinstance(vector, ScalarResultVector):
+                data = vector.values
+            elif isinstance(vector, ExistsResultVector):
+                data = vector.flags.astype(np.float64)
+            else:
+                raise ExecutionError(
+                    "only scalar subqueries may appear in the SELECT list"
+                )
+            out = Relation(
+                {**outer.columns,
+                 node.output_name: computed_column(node.output_name, data)},
+                outer.num_rows,
+            )
+            ops._materialize(self.ctx, out)
+            self.ctx.operator_done()
+            return out
+
+        return self._timed(node_id, run)
+
+    # predicate application ---------------------------------------------------
+
+    def apply_subquery_predicate(
+        self, node_id: int, outer: Relation, vectors: dict[int, object]
+    ) -> Relation:
+        """Evaluate the outer predicate with the result vector(s) in
+        place of the ``SUBQ`` operand(s) (paper Figure 4's final
+        selection).  ``vectors`` maps subquery index -> result vector.
+        """
+        node = self.nodes[node_id]
+        return self._timed(
+            node_id, lambda: self._apply_predicate(node, outer, vectors)
+        )
+
+    def _apply_predicate(
+        self, node: SubqueryFilter, outer: Relation, vectors: dict[int, object]
+    ) -> Relation:
+        from ..plan.unnest import _replace_subquery_refs
+
+        mapping: dict[int, AggRef] = {}
+        columns = dict(outer.columns)
+        validity: dict[int, np.ndarray] = {}
+        by_index = {d.index: d for d in node.descriptors}
+        for index, vector in vectors.items():
+            marker = f"__subq{index}"
+            if isinstance(vector, ScalarResultVector):
+                data = vector.values
+                validity[index] = vector.valid
+            elif isinstance(vector, ExistsResultVector):
+                data = vector.flags
+            else:  # TwoLevelResultVector: reduce to membership first
+                descriptor = by_index[index]
+                vector.freeze()
+                operand = evaluate(descriptor.in_operand, outer, self.ctx, None)
+                if not isinstance(operand, np.ndarray):
+                    operand = np.full(outer.num_rows, operand, dtype=np.float64)
+                self.ctx.device.launch("in_membership", outer.num_rows, work=2.0)
+                membership = vector.membership(operand)
+                data = membership != descriptor.negated
+            columns[marker] = computed_column(marker, data)
+            mapping[index] = AggRef(marker)
+
+        augmented = Relation(columns, outer.num_rows)
+        predicate = _replace_subquery_refs(node.predicate, mapping)
+        mask = evaluate(predicate, augmented, self.ctx, None)
+        if not isinstance(mask, np.ndarray):
+            mask = np.full(outer.num_rows, bool(mask))
+        # three-valued logic: a NaN (NULL) scalar already fails =, <, >
+        # comparisons; only != needs an explicit validity veto
+        for index, valid in validity.items():
+            if _under_not_equal(node.predicate, index):
+                mask = kernels.logical_and(self.ctx.device, mask, valid)
+        indices = kernels.compact(self.ctx.device, mask)
+        out = outer.take_no_charge(indices)
+        ops._materialize(self.ctx, out)
+        self.ctx.operator_done()
+        return out
+
+
+def _under_not_equal(predicate: PlanExpr, index: int, negated: bool = False) -> bool:
+    """Whether NULL-as-NaN gives the wrong truth value for ``SUBQ(index)``.
+
+    NaN already fails ``=``, ``<`` and friends, matching SQL's
+    unknown-is-excluded; but ``!=`` (and any comparison under ``NOT``)
+    would come out true, so those rows need an explicit validity veto.
+    """
+    from ..plan.expressions import BoolOp, Compare
+
+    if isinstance(predicate, NotOp):
+        return _under_not_equal(predicate.operand, index, True)
+    if isinstance(predicate, BoolOp):
+        return _under_not_equal(predicate.left, index, negated) or _under_not_equal(
+            predicate.right, index, negated
+        )
+    if isinstance(predicate, Compare):
+        contains = any(
+            isinstance(leaf, SubqueryRef) and leaf.index == index
+            for leaf in predicate.walk()
+        )
+        return contains and (negated or predicate.op == "!=")
+    return False
+
+
+def _unique_tuples(keys: list[tuple]):
+    """Deduplicate parameter tuples -> (unique list, inverse indices)."""
+    seen: dict[tuple, int] = {}
+    unique: list[tuple] = []
+    inverse = np.empty(len(keys), dtype=np.int64)
+    for i, key in enumerate(keys):
+        idx = seen.get(key)
+        if idx is None:
+            idx = len(unique)
+            seen[key] = idx
+            unique.append(key)
+        inverse[i] = idx
+    return unique, inverse

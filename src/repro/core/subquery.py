@@ -1,0 +1,121 @@
+"""Subquery result vectors (paper Section III-B).
+
+For type-JA subqueries every evaluation returns a scalar, so results
+form a fixed-width vector (:class:`ScalarResultVector`).  Type-J
+results (``IN``) have variable length; the paper stores them as a
+two-level array — per-iteration lengths plus a concatenated value
+buffer (:class:`TwoLevelResultVector`).  EXISTS results degenerate to
+a boolean vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ScalarResultVector:
+    """One scalar (plus validity) per outer iteration.
+
+    ``valid`` distinguishes SQL NULL (empty aggregation input) from a
+    real value, so ``!=`` comparisons against the vector honour
+    three-valued logic.
+    """
+
+    def __init__(self, size: int):
+        self.values = np.full(size, np.nan, dtype=np.float64)
+        self.valid = np.zeros(size, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.valid.nbytes
+
+    def store(self, row: int, value: float, valid: bool) -> None:
+        self.values[row] = value
+        self.valid[row] = valid
+
+    def store_rows(self, rows, values, valid) -> None:
+        self.values[rows] = values
+        self.valid[rows] = valid
+
+
+class ExistsResultVector:
+    """One boolean per outer iteration."""
+
+    def __init__(self, size: int):
+        self.flags = np.zeros(size, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.flags)
+
+    @property
+    def nbytes(self) -> int:
+        return self.flags.nbytes
+
+    def store(self, row: int, flag: bool) -> None:
+        self.flags[row] = flag
+
+    def store_rows(self, rows, flags) -> None:
+        self.flags[rows] = flags
+
+
+class TwoLevelResultVector:
+    """Variable-length results: first level lengths, second level values.
+
+    Built incrementally per iteration, then frozen into two flat
+    arrays; membership tests (``IN``) run against the frozen form.
+    """
+
+    def __init__(self, size: int):
+        self._chunks: dict[int, np.ndarray] = {}
+        self.size = size
+        self.lengths: np.ndarray | None = None
+        self.offsets: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def store(self, row: int, values: np.ndarray) -> None:
+        self._chunks[row] = np.asarray(values, dtype=np.float64)
+
+    def freeze(self) -> None:
+        """Assemble the two-level arrays."""
+        lengths = np.zeros(self.size, dtype=np.int64)
+        buffers = []
+        for row in range(self.size):
+            chunk = self._chunks.get(row)
+            if chunk is not None and len(chunk):
+                lengths[row] = len(chunk)
+                buffers.append(chunk)
+        self.lengths = lengths
+        self.offsets = np.concatenate([[0], np.cumsum(lengths)])[:-1]
+        self.values = (
+            np.concatenate(buffers) if buffers else np.empty(0, dtype=np.float64)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        if self.values is None:
+            return sum(c.nbytes for c in self._chunks.values())
+        return self.lengths.nbytes + self.values.nbytes
+
+    def contains(self, row: int, value: float) -> bool:
+        """Membership of ``value`` in iteration ``row``'s result set."""
+        assert self.lengths is not None, "freeze() before membership tests"
+        start = int(self.offsets[row])
+        stop = start + int(self.lengths[row])
+        return bool(np.any(self.values[start:stop] == value))
+
+    def membership(self, probe: np.ndarray) -> np.ndarray:
+        """Vectorised per-row membership: ``probe[i] in result[i]``."""
+        assert self.lengths is not None, "freeze() before membership tests"
+        out = np.zeros(self.size, dtype=bool)
+        for row in range(self.size):
+            start = int(self.offsets[row])
+            stop = start + int(self.lengths[row])
+            if stop > start:
+                out[row] = bool(np.any(self.values[start:stop] == probe[row]))
+        return out

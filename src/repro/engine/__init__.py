@@ -1,0 +1,13 @@
+"""GPU relational engine: context, relations, operators, evaluator."""
+
+from .context import EngineOptions, ExecutionContext
+from .evaluator import run_plan
+from .relation import Relation, computed_column
+
+__all__ = [
+    "EngineOptions",
+    "ExecutionContext",
+    "Relation",
+    "computed_column",
+    "run_plan",
+]

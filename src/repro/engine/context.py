@@ -1,0 +1,141 @@
+"""Execution context: device, memory pools, options, column residency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceMemoryError
+from ..gpu import Device, PoolSet, RawDeviceAllocator
+from ..storage import Catalog, Column
+
+
+@dataclass
+class EngineOptions:
+    """Feature switches for the paper's optimizations.
+
+    Defaults enable everything (the full NestGPU configuration);
+    baselines and ablation benches flip individual switches.
+    """
+
+    use_memory_pools: bool = True
+    use_index: bool = True
+    use_cache: bool = True
+    use_vectorization: bool = True
+    use_invariant_extraction: bool = True
+    vector_batch: int = 1024
+    # threshold for choosing to build a sorted index over an inner
+    # correlated column: expected iterations * table size must beat
+    # sort cost (see core.indexing)
+    index_min_iterations: int = 8
+
+    @staticmethod
+    def all_off() -> "EngineOptions":
+        return EngineOptions(
+            use_memory_pools=False,
+            use_index=False,
+            use_cache=False,
+            use_vectorization=False,
+            use_invariant_extraction=False,
+        )
+
+
+class ExecutionContext:
+    """Shared state for one query execution on the simulated device."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        device: Device,
+        options: EngineOptions | None = None,
+    ):
+        self.catalog = catalog
+        self.device = device
+        self.options = options or EngineOptions()
+        self.pools = PoolSet(device)
+        self.raw_alloc = RawDeviceAllocator(device)
+        # residency of base-table columns: (table, column) -> bytes
+        self._resident: dict[tuple[str, str], int] = {}
+        self._resident_order: list[tuple[str, str]] = []
+        # caches for the paper's optimizations (filled by repro.core)
+        self.invariant_cache: dict[int, object] = {}
+        self.index_cache: dict[tuple[str, str], object] = {}
+        self.subquery_cache: dict[tuple, object] = {}
+        self.subquery_cache_hits = 0
+        self.subquery_cache_misses = 0
+
+    # -- column residency ----------------------------------------------------
+
+    def load_column(self, table_name: str, column_name: str) -> Column:
+        """Ensure a base column is on the device; returns the column.
+
+        The first touch pays the PCIe transfer and the allocation.  If
+        the device is full, least-recently-loaded columns are evicted
+        (subsequent touches pay the transfer again — the paper's
+        on-demand loading mode for memory-constrained devices).
+        """
+        column = self.catalog.table(table_name).column(column_name)
+        key = (table_name, column_name)
+        if key in self._resident:
+            return column
+        nbytes = column.nbytes
+        while True:
+            try:
+                self.device.alloc(nbytes)
+                break
+            except DeviceMemoryError:
+                if not self._resident_order:
+                    raise
+                victim = self._resident_order.pop(0)
+                self.device.free(self._resident.pop(victim))
+        self.device.transfer_h2d(nbytes)
+        self._resident[key] = nbytes
+        self._resident_order.append(key)
+        return column
+
+    def preload(self, columns: list[tuple[str, str]]) -> None:
+        """Move a set of base columns to the device up front.
+
+        The paper's priority rules (inner-most level first, smaller
+        tables first within a level) are applied by the caller; here we
+        just honour the order given.
+        """
+        for table_name, column_name in columns:
+            self.load_column(table_name, column_name)
+
+    def release_columns(self) -> None:
+        """Free all resident base columns (end of query)."""
+        for key in self._resident_order:
+            self.device.free(self._resident[key])
+        self._resident.clear()
+        self._resident_order.clear()
+
+    # -- intermediate allocations ----------------------------------------------
+
+    def alloc_intermediate(self, nbytes: int) -> None:
+        """Charge an intermediate-table allocation.
+
+        Pooled mode bumps the intermediate pool; without pools the raw
+        allocator pays the modelled malloc overhead per call.
+        """
+        if self.options.use_memory_pools:
+            self.pools.intermediate.alloc(nbytes)
+        else:
+            self.raw_alloc.alloc(nbytes)
+
+    def alloc_scratch(self, nbytes: int) -> None:
+        """Charge an inter-kernel scratch allocation."""
+        if self.options.use_memory_pools:
+            self.pools.inter_kernel.alloc(nbytes)
+        else:
+            self.raw_alloc.alloc(nbytes)
+
+    def operator_done(self) -> None:
+        """Per-operator epilogue: inter-kernel scratch is reclaimed."""
+        if self.options.use_memory_pools:
+            self.pools.clear_inter_kernel()
+
+    def finish(self) -> None:
+        """End-of-query cleanup of device allocations."""
+        self.pools.release_all()
+        self.raw_alloc.free_all()
+        self.release_columns()

@@ -1,0 +1,179 @@
+"""A straightforward plan interpreter for flat (unnested) plans.
+
+The GPU baselines (GPUDB+, OmniSci-like) and the derived-table parts of
+unnested rewrites run through this evaluator.  It memoises results by
+plan-node identity within one run, so shared subtrees (magic-set
+push-down) execute once — mirroring common-subexpression reuse in real
+engines.
+
+``SubqueryFilter`` nodes are only accepted when uncorrelated (type-A/N:
+evaluate the inner plan once, substitute the scalar).  Correlated
+subqueries never reach this evaluator — they are either unnested away
+or executed by the NestGPU drive program (:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..plan.expressions import Const, PlanExpr
+from ..plan.nodes import (
+    Aggregate,
+    CrossJoin,
+    DerivedScan,
+    Distinct,
+    Filter,
+    Join,
+    LeftLookup,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    SemiJoin,
+    Sort,
+    SubqueryColumn,
+    SubqueryFilter,
+)
+from . import operators as ops
+from .relation import Relation
+
+
+def run_plan(
+    ctx,
+    plan: Plan,
+    env: dict[str, float] | None = None,
+    memo: dict[int, Relation] | None = None,
+) -> Relation:
+    """Execute a flat plan, returning the result relation."""
+    if memo is None:
+        memo = {}
+    return _run(ctx, plan, env, memo)
+
+
+def _run(ctx, node: Plan, env, memo) -> Relation:
+    key = id(node)
+    if key in memo:
+        return memo[key]
+    result = _dispatch(ctx, node, env, memo)
+    memo[key] = result
+    return result
+
+
+def _dispatch(ctx, node: Plan, env, memo) -> Relation:
+    if isinstance(node, Scan):
+        return ops.scan(
+            ctx, node.table, node.binding, node.filters, env, node.columns
+        )
+    if isinstance(node, DerivedScan):
+        inner = _run(ctx, node.plan, env, memo)
+        return inner.renamed_prefix(node.binding)
+    if isinstance(node, CrossJoin):
+        left = _run(ctx, node.left, env, memo)
+        right = _run(ctx, node.right, env, memo)
+        return ops.cross_join(ctx, left, right)
+    if isinstance(node, Join):
+        left = _run(ctx, node.left, env, memo)
+        right = _run(ctx, node.right, env, memo)
+        return ops.join(
+            ctx, left, right, node.left_key, node.right_key, env,
+            build_side=node.build_side,
+        )
+    if isinstance(node, Filter):
+        child = _run(ctx, node.child, env, memo)
+        return ops.filter_rel(ctx, child, node.predicate, env)
+    if isinstance(node, SemiJoin):
+        child = _run(ctx, node.child, env, memo)
+        inner = _run(ctx, node.inner, env, memo)
+        return ops.semi_join(
+            ctx, child, inner, node.outer_key, node.inner_key, node.negated, env
+        )
+    if isinstance(node, LeftLookup):
+        child = _run(ctx, node.child, env, memo)
+        inner = _run(ctx, node.inner, env, memo)
+        return ops.left_lookup(
+            ctx, child, inner, node.outer_key, node.inner_key,
+            node.value_column, node.output_name, node.default, env,
+        )
+    if isinstance(node, SubqueryFilter):
+        return _run_uncorrelated_subquery(ctx, node, env, memo)
+    if isinstance(node, SubqueryColumn):
+        return _run_uncorrelated_subquery_column(ctx, node, env, memo)
+    if isinstance(node, Aggregate):
+        child = _run(ctx, node.child, env, memo)
+        return ops.aggregate(ctx, child, node.groups, node.aggs, node.having, env)
+    if isinstance(node, Project):
+        child = _run(ctx, node.child, env, memo)
+        return ops.project(ctx, child, node.exprs, node.names)
+    if isinstance(node, Distinct):
+        child = _run(ctx, node.child, env, memo)
+        return ops.distinct(ctx, child)
+    if isinstance(node, Sort):
+        child = _run(ctx, node.child, env, memo)
+        return ops.sort(ctx, child, node.keys, node.descending)
+    if isinstance(node, Limit):
+        child = _run(ctx, node.child, env, memo)
+        return ops.limit(ctx, child, node.count)
+    raise ExecutionError(f"evaluator cannot execute node {node!r}")
+
+
+def _run_uncorrelated_subquery(ctx, node: SubqueryFilter, env, memo) -> Relation:
+    descriptor = node.descriptor
+    if descriptor is None or descriptor.is_correlated:
+        raise ExecutionError(
+            "correlated SUBQ reached the flat-plan evaluator; this engine "
+            "requires unnesting (or use NestGPU's nested method)"
+        )
+    inner_plan = getattr(node, "inner_plan", None)
+    if inner_plan is None:
+        raise ExecutionError("uncorrelated subquery was not planned")
+    child = _run(ctx, node.child, env, memo)
+    inner = _run(ctx, inner_plan, env, memo)
+    if descriptor.kind == "exists":
+        has_rows = inner.num_rows > 0
+        keep = has_rows != descriptor.negated
+        if keep:
+            return child
+        return child.take_no_charge(np.empty(0, dtype=np.int64))
+    if descriptor.kind == "scalar":
+        if inner.num_rows != 1:
+            raise ExecutionError(
+                f"scalar subquery returned {inner.num_rows} rows"
+            )
+        value = float(next(iter(inner.columns.values())).data[0])
+        if np.isnan(value):
+            return child.take_no_charge(np.empty(0, dtype=np.int64))
+        predicate = _substitute(node.predicate, Const(value))
+        return ops.filter_rel(ctx, child, predicate, env)
+    raise ExecutionError(f"unsupported uncorrelated subquery kind {descriptor.kind}")
+
+
+def _run_uncorrelated_subquery_column(
+    ctx, node: SubqueryColumn, env, memo
+) -> Relation:
+    descriptor = node.descriptor
+    if descriptor is None or descriptor.is_correlated:
+        raise ExecutionError(
+            "correlated SELECT-list SUBQ reached the flat-plan evaluator"
+        )
+    inner_plan = getattr(node, "inner_plan", None)
+    if inner_plan is None:
+        raise ExecutionError("uncorrelated SELECT-list subquery was not planned")
+    child = _run(ctx, node.child, env, memo)
+    inner = _run(ctx, inner_plan, env, memo)
+    if inner.num_rows != 1:
+        raise ExecutionError(f"scalar subquery returned {inner.num_rows} rows")
+    from .relation import computed_column
+
+    value = float(next(iter(inner.columns.values())).data[0])
+    data = np.full(child.num_rows, value, dtype=np.float64)
+    return Relation(
+        {**child.columns, node.output_name: computed_column(node.output_name, data)},
+        child.num_rows,
+    )
+
+
+def _substitute(expr: PlanExpr, replacement: PlanExpr) -> PlanExpr:
+    from ..plan.unnest import _replace_subquery_ref
+
+    return _replace_subquery_ref(expr, replacement)

@@ -1,0 +1,144 @@
+"""Evaluation of bound expressions over device relations.
+
+Every array-producing step charges the device for one primitive kernel
+launch via :mod:`repro.gpu.kernels`, so expression complexity shows up
+in kernel counts exactly as compiled predicates would.
+
+Correlated :class:`~repro.plan.expressions.ParamRef` leaves read the
+current outer-tuple value from ``env`` — the drive program maintains
+this environment as it iterates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..gpu import kernels
+from ..plan.expressions import (
+    AggRef,
+    Arith,
+    BoolOp,
+    ColRef,
+    Compare,
+    Const,
+    InCodes,
+    NotOp,
+    ParamRef,
+    PlanExpr,
+    SubqueryRef,
+)
+from .relation import Relation
+
+_MIRROR = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def evaluate(
+    expr: PlanExpr,
+    rel: Relation,
+    ctx,
+    env: dict[str, float] | None = None,
+):
+    """Evaluate ``expr`` over ``rel`` -> numpy array or Python scalar."""
+    device = ctx.device
+    if isinstance(expr, ColRef):
+        return rel.column(expr.qual).data
+    if isinstance(expr, AggRef):
+        return rel.column(expr.name).data
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ParamRef):
+        if env is None or expr.qual not in env:
+            raise ExecutionError(f"unbound correlated parameter {expr.qual}")
+        return env[expr.qual]
+    if isinstance(expr, Compare):
+        return _compare(expr, rel, ctx, env)
+    if isinstance(expr, BoolOp):
+        return _boolop(expr, rel, ctx, env)
+    if isinstance(expr, NotOp):
+        operand = evaluate(expr.operand, rel, ctx, env)
+        if isinstance(operand, np.ndarray):
+            return kernels.logical_not(device, operand)
+        return not operand
+    if isinstance(expr, InCodes):
+        operand = evaluate(expr.operand, rel, ctx, env)
+        if not isinstance(operand, np.ndarray):
+            result = operand in expr.codes
+            return (not result) if expr.negated else result
+        mask = kernels.isin(device, operand, expr.code_array)
+        return kernels.logical_not(device, mask) if expr.negated else mask
+    if isinstance(expr, Arith):
+        left = evaluate(expr.left, rel, ctx, env)
+        right = evaluate(expr.right, rel, ctx, env)
+        if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):
+            return _python_arith(expr.op, left, right)
+        size = len(left) if isinstance(left, np.ndarray) else len(right)
+        return kernels.arithmetic(device, expr.op, left, right, size)
+    if isinstance(expr, SubqueryRef):
+        raise ExecutionError(
+            "SUBQ reached the expression evaluator — the drive program "
+            "must substitute subquery results before predicate evaluation"
+        )
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def _compare(expr: Compare, rel: Relation, ctx, env):
+    device = ctx.device
+    left = evaluate(expr.left, rel, ctx, env)
+    right = evaluate(expr.right, rel, ctx, env)
+    left_is_array = isinstance(left, np.ndarray)
+    right_is_array = isinstance(right, np.ndarray)
+    if left_is_array and right_is_array:
+        return kernels.compare_arrays(device, left, right, expr.op)
+    if left_is_array:
+        return kernels.compare_scalar(device, left, expr.op, right)
+    if right_is_array:
+        return kernels.compare_scalar(device, right, _MIRROR[expr.op], left)
+    return _python_compare(expr.op, left, right)
+
+
+def _boolop(expr: BoolOp, rel: Relation, ctx, env):
+    device = ctx.device
+    left = evaluate(expr.left, rel, ctx, env)
+    right = evaluate(expr.right, rel, ctx, env)
+    left_is_array = isinstance(left, np.ndarray)
+    right_is_array = isinstance(right, np.ndarray)
+    if left_is_array and right_is_array:
+        if expr.op == "and":
+            return kernels.logical_and(device, left, right)
+        return kernels.logical_or(device, left, right)
+    if not left_is_array and not right_is_array:
+        return (left and right) if expr.op == "and" else (left or right)
+    array = left if left_is_array else right
+    scalar = right if left_is_array else left
+    if expr.op == "and":
+        return array if scalar else np.zeros(len(array), dtype=bool)
+    return np.ones(len(array), dtype=bool) if scalar else array
+
+
+def _python_compare(op: str, left, right) -> bool:
+    if isinstance(left, float) and np.isnan(left):
+        return False
+    if isinstance(right, float) and np.isnan(right):
+        return False
+    table = {
+        "=": left == right,
+        "!=": left != right,
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }
+    return bool(table[op])
+
+
+def _python_arith(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures without catching unrelated
+bugs.  The subclasses mirror the major subsystems: SQL frontend,
+planning, execution, and the simulated GPU device.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Raised for lexical or syntactic errors in a SQL string."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """Raised when names in a query cannot be resolved against the catalog."""
+
+
+class PlanError(ReproError):
+    """Raised when a logical plan cannot be constructed or optimized."""
+
+
+class UnnestingError(PlanError):
+    """Raised when a correlated subquery cannot be unnested.
+
+    The nested method never raises this error; it is the unnested
+    rewriter's way of reporting that a query (e.g. one correlated
+    through ``!=`` or ``>``) is outside Kim's rewrite rules, matching
+    the paper's Query 5 discussion.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised for failures while running a physical plan or drive program."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU failures."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Raised when a (simulated) device-memory allocation exceeds capacity.
+
+    This is the error behind the paper's Figure 14: the unnested method
+    (GPUDB+) exhausts the 8 GB GTX 1080 at scale factor >= 80 while the
+    nested method keeps running.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int):
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"device out of memory: requested {requested} B with "
+            f"{in_use} B in use of {capacity} B capacity"
+        )
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or duplicate registrations."""

@@ -1,0 +1,16 @@
+"""Simulated GPU substrate: device, memory pools, primitive kernels."""
+
+from .device import Device
+from .memory import MemoryPool, PoolMark, PoolSet, RawDeviceAllocator
+from .spec import DeviceSpec
+from .stats import ExecutionStats
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "ExecutionStats",
+    "MemoryPool",
+    "PoolMark",
+    "PoolSet",
+    "RawDeviceAllocator",
+]

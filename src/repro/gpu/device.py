@@ -1,0 +1,121 @@
+"""The simulated GPU device: clock, memory accounting, kernel launches.
+
+The device computes nothing itself — kernels (see
+:mod:`repro.gpu.kernels`) do real numpy work on the host while charging
+the device clock according to the spec's timing model.  This keeps the
+results exact and the reported times analytical, which is the
+substitution documented in DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import DeviceMemoryError
+from .spec import DeviceSpec
+from .stats import ExecutionStats
+
+
+class Device:
+    """A simulated GPU accumulating modelled time and memory usage."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+        self.stats = ExecutionStats()
+        self._in_use = 0
+
+    # -- memory ---------------------------------------------------------
+
+    @property
+    def memory_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def memory_free(self) -> int:
+        return self.spec.memory_bytes - self._in_use
+
+    def alloc(self, nbytes: int, raw: bool = False) -> int:
+        """Reserve ``nbytes`` of device memory.
+
+        Args:
+            nbytes: allocation size.
+            raw: charge the per-call malloc overhead (pools pass False —
+                their whole purpose is to amortise this cost).
+
+        Raises:
+            DeviceMemoryError: if the allocation exceeds capacity.
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self._in_use + nbytes > self.spec.memory_bytes:
+            raise DeviceMemoryError(nbytes, self._in_use, self.spec.memory_bytes)
+        self._in_use += nbytes
+        if self._in_use > self.stats.peak_device_bytes:
+            self.stats.peak_device_bytes = self._in_use
+        if raw:
+            self.stats.malloc_calls += 1
+            self.stats.malloc_time_ns += self.spec.malloc_overhead_ns
+        return nbytes
+
+    def free(self, nbytes: int, raw: bool = False) -> None:
+        """Release ``nbytes`` previously allocated."""
+        if nbytes > self._in_use:
+            raise ValueError(
+                f"freeing {nbytes} B but only {self._in_use} B in use"
+            )
+        self._in_use -= nbytes
+        if raw:
+            self.stats.malloc_calls += 1
+            self.stats.malloc_time_ns += self.spec.malloc_overhead_ns
+
+    # -- kernels ----------------------------------------------------------
+
+    def launch(self, tag: str, elements: int, work: float = 1.0) -> float:
+        """Charge one kernel launch over ``elements`` data items.
+
+        ``work`` scales the per-iteration cost for kernels doing more
+        than one memory access per element (e.g. hash build ~ 2x a
+        plain scan, sort ~ log n).  Returns the charged nanoseconds.
+        """
+        iterations = math.ceil(elements / self.spec.threads) if elements > 0 else 0
+        time_ns = self.spec.launch_overhead_ns + iterations * self.spec.iteration_ns * work
+        self.stats.kernel_launches += 1
+        self.stats.kernel_time_ns += time_ns
+        self.stats.kernel_time_by_tag[tag] = (
+            self.stats.kernel_time_by_tag.get(tag, 0.0) + time_ns
+        )
+        self.stats.launches_by_tag[tag] = self.stats.launches_by_tag.get(tag, 0) + 1
+        return time_ns
+
+    def materialize(self, nbytes: int) -> float:
+        """Charge the materialization cost of writing ``nbytes`` results."""
+        time_ns = nbytes * self.spec.materialize_ns_per_byte
+        self.stats.materialize_bytes += nbytes
+        self.stats.materialize_time_ns += time_ns
+        return time_ns
+
+    # -- transfers ----------------------------------------------------------
+
+    def transfer_h2d(self, nbytes: int) -> float:
+        """Charge a host-to-device PCIe transfer."""
+        time_ns = nbytes / self.spec.pcie_bytes_per_ns
+        self.stats.h2d_bytes += nbytes
+        self.stats.h2d_time_ns += time_ns
+        return time_ns
+
+    def transfer_d2h(self, nbytes: int) -> float:
+        """Charge a device-to-host PCIe transfer."""
+        time_ns = nbytes / self.spec.pcie_bytes_per_ns
+        self.stats.d2h_bytes += nbytes
+        self.stats.d2h_time_ns += time_ns
+        return time_ns
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def snapshot(self) -> ExecutionStats:
+        """A copy of the running statistics (diff two to time a span)."""
+        return self.stats.copy()
+
+    def reset(self) -> None:
+        """Clear the clock and counters; memory accounting is kept."""
+        self.stats = ExecutionStats()

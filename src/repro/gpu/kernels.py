@@ -1,0 +1,328 @@
+"""Primitive GPU kernels.
+
+Relational operators are dismantled into the primitives below, mirroring
+the structure the paper describes (scan, prefix-sum, scatter,
+materialise, hash build/probe, segmented reduce, sort).  Each primitive
+performs the real computation with numpy and charges the device clock
+for one kernel launch over its input size; ``work`` factors account for
+kernels that do more memory traffic per element (hash build, sort).
+
+All primitives are pure with respect to their inputs — they allocate
+and return fresh arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .device import Device
+
+_COMPARE_OPS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _log_work(n: int) -> float:
+    return max(1.0, math.log2(n)) if n > 1 else 1.0
+
+
+# ---------------------------------------------------------------------------
+# scans and maps
+# ---------------------------------------------------------------------------
+
+
+def compare_scalar(device: Device, data: np.ndarray, op: str, value) -> np.ndarray:
+    """Elementwise ``data <op> value`` producing a 0/1 mask."""
+    try:
+        func = _COMPARE_OPS[op]
+    except KeyError:
+        raise ExecutionError(f"unknown comparison operator {op!r}") from None
+    device.launch("scan_compare", len(data))
+    return func(data, value)
+
+
+def compare_arrays(device: Device, left: np.ndarray, right: np.ndarray, op: str) -> np.ndarray:
+    """Elementwise ``left <op> right`` over two aligned columns."""
+    try:
+        func = _COMPARE_OPS[op]
+    except KeyError:
+        raise ExecutionError(f"unknown comparison operator {op!r}") from None
+    device.launch("scan_compare", len(left), work=2.0)
+    return func(left, right)
+
+
+def isin(device: Device, data: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership mask — how dictionary-encoded LIKE is evaluated."""
+    device.launch("scan_isin", len(data), work=2.0)
+    return np.isin(data, values)
+
+
+def arithmetic(device: Device, op: str, left, right, size: int) -> np.ndarray:
+    """Elementwise arithmetic between columns and/or scalars."""
+    ops = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}
+    try:
+        func = ops[op]
+    except KeyError:
+        raise ExecutionError(f"unknown arithmetic operator {op!r}") from None
+    device.launch("scan_arith", size)
+    return func(left, right).astype(np.float64) if op == "/" else func(left, right)
+
+
+def logical_and(device: Device, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    device.launch("scan_and", len(left))
+    return np.logical_and(left, right)
+
+
+def logical_or(device: Device, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    device.launch("scan_or", len(left))
+    return np.logical_or(left, right)
+
+
+def logical_not(device: Device, mask: np.ndarray) -> np.ndarray:
+    device.launch("scan_not", len(mask))
+    return np.logical_not(mask)
+
+
+# ---------------------------------------------------------------------------
+# prefix sum / compaction
+# ---------------------------------------------------------------------------
+
+
+def prefix_sum(device: Device, mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """Exclusive prefix sum of a 0/1 mask -> (positions, total).
+
+    The work factor reflects the log-depth of a parallel scan.
+    """
+    n = len(mask)
+    device.launch("prefix_sum", n, work=_log_work(n))
+    inclusive = np.cumsum(mask)
+    total = int(inclusive[-1]) if n else 0
+    positions = inclusive - mask  # exclusive scan
+    return positions, total
+
+
+def compact(device: Device, mask: np.ndarray) -> np.ndarray:
+    """Indices of set positions (prefix-sum + scatter of a 0/1 vector)."""
+    mask = mask.astype(bool)
+    positions, total = prefix_sum(device, mask)
+    device.launch("scatter", len(mask))
+    out = np.empty(total, dtype=np.int64)
+    out[positions[mask]] = np.nonzero(mask)[0]
+    return out
+
+
+def gather(device: Device, data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Gather ``data[indices]``."""
+    device.launch("gather", len(indices))
+    return data[indices]
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+_REDUCE_IDENTITY = {"min": np.inf, "max": -np.inf, "sum": 0.0, "count": 0.0, "avg": np.nan}
+
+
+def reduce_full(device: Device, values: np.ndarray, op: str) -> float:
+    """A whole-column reduction; empty input yields the identity.
+
+    ``avg`` over an empty column yields NaN, matching SQL NULL.
+    """
+    n = len(values)
+    device.launch("reduce", n, work=_log_work(max(n, 1)))
+    if op == "count":
+        return float(n)
+    if n == 0:
+        return _REDUCE_IDENTITY[op]
+    if op == "min":
+        return float(values.min())
+    if op == "max":
+        return float(values.max())
+    if op == "sum":
+        return float(values.sum())
+    if op == "avg":
+        return float(values.mean())
+    raise ExecutionError(f"unknown reduction {op!r}")
+
+
+def segmented_reduce(
+    device: Device,
+    values: np.ndarray | None,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    op: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment reduction -> (result, counts).
+
+    Segments with no rows receive the reduction identity (NaN for avg)
+    and can be recognised through ``counts == 0``.  This primitive is
+    what makes the *vectorization* optimization possible: one launch
+    reduces the subquery result for a whole batch of outer tuples.
+    """
+    n = len(segment_ids)
+    device.launch("segmented_reduce", n, work=_log_work(max(n, 1)))
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    if op == "count":
+        return counts, counts
+    assert values is not None
+    result = np.full(num_segments, _REDUCE_IDENTITY[op], dtype=np.float64)
+    if n:
+        if op == "min":
+            np.minimum.at(result, segment_ids, values)
+        elif op == "max":
+            np.maximum.at(result, segment_ids, values)
+        elif op in ("sum", "avg"):
+            result = np.zeros(num_segments, dtype=np.float64)
+            np.add.at(result, segment_ids, values)
+            if op == "avg":
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    result = result / counts
+        else:
+            raise ExecutionError(f"unknown reduction {op!r}")
+    if op == "avg" and n == 0:
+        result = np.full(num_segments, np.nan)
+    return result, counts
+
+
+def segmented_any(
+    device: Device, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Per-segment EXISTS — true where a segment has at least one row."""
+    device.launch("segmented_any", len(segment_ids))
+    counts = np.bincount(segment_ids, minlength=num_segments)
+    return counts > 0
+
+
+# ---------------------------------------------------------------------------
+# hash join primitives
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JoinHash:
+    """A build-side 'hash table'.
+
+    Internally a sorted copy of the keys plus the sort permutation; the
+    device is charged hash-build cost (``Ht`` per element, Eq. 2).
+    """
+
+    keys_sorted: np.ndarray
+    order: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.keys_sorted)
+
+    @property
+    def nbytes(self) -> int:
+        return self.keys_sorted.nbytes + self.order.nbytes
+
+
+def hash_build(device: Device, keys: np.ndarray) -> JoinHash:
+    """Build the join hash table over the build side's key column."""
+    device.launch("hash_build", len(keys), work=2.0)
+    order = np.argsort(keys, kind="stable")
+    return JoinHash(keys[order], order)
+
+
+def hash_probe(
+    device: Device, table: JoinHash, probe_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe -> aligned (probe_indices, build_indices) of every match."""
+    device.launch("hash_probe", len(probe_keys), work=2.0)
+    lo = np.searchsorted(table.keys_sorted, probe_keys, side="left")
+    hi = np.searchsorted(table.keys_sorted, probe_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    device.launch("join_expand", total)
+    probe_idx = np.repeat(np.arange(len(probe_keys)), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    build_idx = table.order[starts + offsets]
+    return probe_idx, build_idx
+
+
+def semi_probe(device: Device, table: JoinHash, probe_keys: np.ndarray) -> np.ndarray:
+    """EXISTS probe -> mask over probe side (the paper's Q4 semi-join)."""
+    device.launch("semi_probe", len(probe_keys), work=2.0)
+    lo = np.searchsorted(table.keys_sorted, probe_keys, side="left")
+    hi = np.searchsorted(table.keys_sorted, probe_keys, side="right")
+    return hi > lo
+
+
+# ---------------------------------------------------------------------------
+# sort and grouping
+# ---------------------------------------------------------------------------
+
+
+def sort_order(
+    device: Device, keys: list[np.ndarray], descending: list[bool]
+) -> np.ndarray:
+    """Row permutation ordering by the given keys (first key primary)."""
+    if not keys:
+        raise ExecutionError("sort requires at least one key")
+    n = len(keys[0])
+    device.launch("sort", n, work=_log_work(max(n, 1)) * 2.0)
+    adjusted = [(-k if desc else k) for k, desc in zip(keys, descending)]
+    return np.lexsort(adjusted[::-1])
+
+
+def group_ids(
+    device: Device, keys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense group ids for composite keys -> (ids, representative_rows).
+
+    ``ids[i]`` is the group of row ``i``; ``representative_rows[g]`` is
+    one row index belonging to group ``g`` (used to emit the group-key
+    columns).
+    """
+    if not keys:
+        raise ExecutionError("grouping requires at least one key")
+    n = len(keys[0])
+    device.launch("group_by", n, work=_log_work(max(n, 1)) * 2.0)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order = np.lexsort(keys[::-1])
+    changed = np.zeros(n, dtype=bool)
+    changed[0] = True
+    for key in keys:
+        sorted_key = key[order]
+        changed[1:] |= sorted_key[1:] != sorted_key[:-1]
+    gid_sorted = np.cumsum(changed) - 1
+    ids = np.empty(n, dtype=np.int64)
+    ids[order] = gid_sorted
+    representatives = order[changed]
+    return ids, representatives
+
+
+# ---------------------------------------------------------------------------
+# index primitives (paper Section III-D, "Indexing")
+# ---------------------------------------------------------------------------
+
+
+def binary_search_ranges(
+    device: Device, sorted_keys: np.ndarray, probe_values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-probe [lo, hi) ranges in a sorted index column.
+
+    This is the kernel behind indexed correlated scans: instead of a
+    full table scan per iteration, each iteration touches only the
+    matching slice.  The launch size is the probe count (log-cost per
+    probe), not the table size.
+    """
+    n = len(probe_values)
+    device.launch(
+        "index_search", n, work=_log_work(max(len(sorted_keys), 1))
+    )
+    lo = np.searchsorted(sorted_keys, probe_values, side="left")
+    hi = np.searchsorted(sorted_keys, probe_values, side="right")
+    return lo, hi

@@ -1,0 +1,150 @@
+"""Device memory pools (paper Section III-C).
+
+Nested execution calls every operator of the subquery once per outer
+tuple; paying a raw ``cudaMalloc``/``cudaFree`` per operator would
+dominate runtime.  NestGPU instead keeps three linear pools —
+
+* **meta**: host-side operator metadata (column types, tuple counts);
+* **intermediate**: columns produced by one operator and consumed by
+  the next;
+* **inter-kernel**: scratch passed between the kernels of a single
+  operator (0/1 vectors, prefix sums), cleared after every operator.
+
+Allocation moves a tail pointer forward; deallocation moves it back.
+Before each subquery iteration the generated drive program records the
+tails and restores them afterwards, so iteration ``i+1`` reuses the
+space of iteration ``i`` (paper Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import Device
+
+
+@dataclass(frozen=True)
+class PoolMark:
+    """A saved tail position, restored after a subquery iteration."""
+
+    pool_name: str
+    position: int
+
+
+class MemoryPool:
+    """A linear (bump-pointer) allocator carved out of device memory.
+
+    The pool grows lazily: device capacity is only charged when the
+    high-water mark advances, so an 8 GB device can host pools whose
+    *combined nominal* sizes exceed capacity as long as actual usage
+    never does.
+    """
+
+    def __init__(self, device: Device, name: str, host_side: bool = False):
+        self.device = device
+        self.name = name
+        self.host_side = host_side
+        self._tail = 0
+        self._reserved = 0
+
+    @property
+    def tail(self) -> int:
+        return self._tail
+
+    @property
+    def reserved(self) -> int:
+        """High-water mark — bytes charged against the device."""
+        return self._reserved
+
+    def alloc(self, nbytes: int) -> int:
+        """Advance the tail by ``nbytes``; returns the start offset.
+
+        Raises:
+            DeviceMemoryError: when growing the high-water mark exceeds
+                the device capacity (host-side pools never raise).
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        offset = self._tail
+        self._tail += nbytes
+        if self._tail > self._reserved:
+            grow = self._tail - self._reserved
+            if not self.host_side:
+                self.device.alloc(grow)
+            self._reserved = self._tail
+        return offset
+
+    def mark(self) -> PoolMark:
+        """Record the current tail (paper: ``hostPos = mempool.tail``)."""
+        return PoolMark(self.name, self._tail)
+
+    def restore(self, mark: PoolMark) -> None:
+        """Move the tail back to a recorded position."""
+        if mark.pool_name != self.name:
+            raise ValueError(
+                f"mark for pool {mark.pool_name!r} applied to {self.name!r}"
+            )
+        if mark.position > self._tail:
+            raise ValueError("cannot restore a pool forward")
+        self._tail = mark.position
+
+    def reset(self) -> None:
+        """Release everything (tail back to head)."""
+        self._tail = 0
+
+    def release(self) -> None:
+        """Return the reserved high-water mark to the device."""
+        if not self.host_side and self._reserved:
+            self.device.free(self._reserved)
+        self._reserved = 0
+        self._tail = 0
+
+
+class PoolSet:
+    """The three pools used by a drive program."""
+
+    def __init__(self, device: Device):
+        self.meta = MemoryPool(device, "meta", host_side=True)
+        self.intermediate = MemoryPool(device, "intermediate")
+        self.inter_kernel = MemoryPool(device, "inter_kernel")
+
+    def mark_all(self) -> tuple[PoolMark, PoolMark]:
+        """Marks for the pools that survive across operators."""
+        return self.meta.mark(), self.intermediate.mark()
+
+    def restore_all(self, marks: tuple[PoolMark, PoolMark]) -> None:
+        meta_mark, inter_mark = marks
+        self.meta.restore(meta_mark)
+        self.intermediate.restore(inter_mark)
+
+    def clear_inter_kernel(self) -> None:
+        """Called after every operator (paper: tail = head)."""
+        self.inter_kernel.reset()
+
+    def release_all(self) -> None:
+        self.meta.release()
+        self.intermediate.release()
+        self.inter_kernel.release()
+
+
+class RawDeviceAllocator:
+    """Per-operator raw malloc/free, for systems without pools.
+
+    OmniSci-like execution and the pool ablation route intermediate
+    allocations through this allocator, paying the modelled malloc
+    overhead on every call.
+    """
+
+    def __init__(self, device: Device):
+        self.device = device
+        self._live: list[int] = []
+
+    def alloc(self, nbytes: int) -> int:
+        self.device.alloc(nbytes, raw=True)
+        self._live.append(nbytes)
+        return len(self._live) - 1
+
+    def free_all(self) -> None:
+        for nbytes in self._live:
+            self.device.free(nbytes, raw=True)
+        self._live.clear()

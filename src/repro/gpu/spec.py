@@ -1,0 +1,78 @@
+"""Simulated device specifications.
+
+The timing model follows the paper's cost formulas: a kernel costs a
+fixed launch constant ``C`` plus ``K_i`` per thread-iteration, where a
+kernel over ``D_i`` elements on ``Th`` concurrent threads performs
+``ceil(D_i / Th)`` iterations per thread (Eq. 1).  Materialization
+costs ``M`` per byte written.  Transfers move at PCIe bandwidth.
+
+Two presets mirror the paper's hardware: a Tesla V100 (32 GB HBM, the
+server GPU of Figures 8-13 and 15-16) and a GTX 1080 (8 GB GDDR5, the
+desktop GPU of the Figure 14 memory experiment).  ``capacity_scale``
+shrinks device memory in proportion to the micro-scale data so the
+out-of-memory crossover lands at the same scale factor as on real
+hardware (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated GPU.
+
+    Attributes:
+        name: human-readable device name.
+        memory_bytes: device memory capacity.
+        threads: total concurrent hardware threads (``Th`` in Eq. 1).
+        launch_overhead_ns: fixed cost ``C`` of launching one kernel.
+        iteration_ns: default ``K_i`` — time of one thread-iteration of
+            a simple elementwise kernel.
+        materialize_ns_per_byte: ``M`` — cost of writing one result byte.
+        pcie_bytes_per_ns: host<->device transfer bandwidth.
+        malloc_overhead_ns: cost of one raw device malloc/free pair;
+            memory pools exist to avoid paying this per operator.
+    """
+
+    name: str
+    memory_bytes: int
+    threads: int
+    launch_overhead_ns: float
+    iteration_ns: float
+    materialize_ns_per_byte: float
+    pcie_bytes_per_ns: float
+    malloc_overhead_ns: float
+
+    @staticmethod
+    def v100(capacity_scale: float = 1.0) -> "DeviceSpec":
+        """The paper's server GPU: Tesla V100, 32 GB HBM2, PCIe 3 x16."""
+        return DeviceSpec(
+            name="tesla-v100",
+            memory_bytes=int(32 * 2**30 * capacity_scale),
+            threads=163_840,  # 80 SMs x 2048 resident threads
+            launch_overhead_ns=5_000.0,
+            iteration_ns=220.0,
+            materialize_ns_per_byte=0.004,
+            pcie_bytes_per_ns=12.0,  # ~12 GB/s effective
+            malloc_overhead_ns=80_000.0,
+        )
+
+    @staticmethod
+    def gtx1080(capacity_scale: float = 1.0) -> "DeviceSpec":
+        """The paper's desktop GPU: GTX 1080, 8 GB GDDR5X."""
+        return DeviceSpec(
+            name="gtx-1080",
+            memory_bytes=int(8 * 2**30 * capacity_scale),
+            threads=40_960,  # 20 SMs x 2048 resident threads
+            launch_overhead_ns=6_000.0,
+            iteration_ns=340.0,
+            materialize_ns_per_byte=0.007,
+            pcie_bytes_per_ns=10.0,
+            malloc_overhead_ns=90_000.0,
+        )
+
+    def with_memory(self, memory_bytes: int) -> "DeviceSpec":
+        """A copy of this spec with a different memory capacity."""
+        return replace(self, memory_bytes=memory_bytes)

@@ -1,0 +1,97 @@
+"""Execution statistics accumulated on the simulated device clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionStats:
+    """Counters and modelled time for one span of device activity.
+
+    All times are nanoseconds of *modelled* device/bus time, not
+    wall-clock of the Python process.
+    """
+
+    kernel_launches: int = 0
+    kernel_time_ns: float = 0.0
+    materialize_bytes: int = 0
+    materialize_time_ns: float = 0.0
+    h2d_bytes: int = 0
+    h2d_time_ns: float = 0.0
+    d2h_bytes: int = 0
+    d2h_time_ns: float = 0.0
+    malloc_calls: int = 0
+    malloc_time_ns: float = 0.0
+    peak_device_bytes: int = 0
+    kernel_time_by_tag: dict[str, float] = field(default_factory=dict)
+    launches_by_tag: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.kernel_time_ns
+            + self.materialize_time_ns
+            + self.h2d_time_ns
+            + self.d2h_time_ns
+            + self.malloc_time_ns
+        )
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+    @property
+    def transfer_time_ns(self) -> float:
+        return self.h2d_time_ns + self.d2h_time_ns
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Share of total time spent moving data over PCIe."""
+        total = self.total_ns
+        return self.transfer_time_ns / total if total else 0.0
+
+    def copy(self) -> "ExecutionStats":
+        clone = ExecutionStats(**{
+            k: v for k, v in self.__dict__.items()
+            if k not in ("kernel_time_by_tag", "launches_by_tag")
+        })
+        clone.kernel_time_by_tag = dict(self.kernel_time_by_tag)
+        clone.launches_by_tag = dict(self.launches_by_tag)
+        return clone
+
+    def minus(self, earlier: "ExecutionStats") -> "ExecutionStats":
+        """The activity between ``earlier`` and this snapshot."""
+        diff = ExecutionStats(
+            kernel_launches=self.kernel_launches - earlier.kernel_launches,
+            kernel_time_ns=self.kernel_time_ns - earlier.kernel_time_ns,
+            materialize_bytes=self.materialize_bytes - earlier.materialize_bytes,
+            materialize_time_ns=self.materialize_time_ns - earlier.materialize_time_ns,
+            h2d_bytes=self.h2d_bytes - earlier.h2d_bytes,
+            h2d_time_ns=self.h2d_time_ns - earlier.h2d_time_ns,
+            d2h_bytes=self.d2h_bytes - earlier.d2h_bytes,
+            d2h_time_ns=self.d2h_time_ns - earlier.d2h_time_ns,
+            malloc_calls=self.malloc_calls - earlier.malloc_calls,
+            malloc_time_ns=self.malloc_time_ns - earlier.malloc_time_ns,
+            peak_device_bytes=self.peak_device_bytes,
+        )
+        for tag, value in self.kernel_time_by_tag.items():
+            delta = value - earlier.kernel_time_by_tag.get(tag, 0.0)
+            if delta:
+                diff.kernel_time_by_tag[tag] = delta
+        for tag, value in self.launches_by_tag.items():
+            delta = value - earlier.launches_by_tag.get(tag, 0)
+            if delta:
+                diff.launches_by_tag[tag] = delta
+        return diff
+
+    def breakdown(self) -> dict[str, float]:
+        """Milliseconds by category, for reports."""
+        return {
+            "kernel_ms": self.kernel_time_ns / 1e6,
+            "materialize_ms": self.materialize_time_ns / 1e6,
+            "h2d_ms": self.h2d_time_ns / 1e6,
+            "d2h_ms": self.d2h_time_ns / 1e6,
+            "malloc_ms": self.malloc_time_ns / 1e6,
+            "total_ms": self.total_ms,
+        }

@@ -1,0 +1,19 @@
+"""Planner: binding, logical plans, invariants, unnesting, rewrites."""
+
+from .binder import Binder, BoundBlock, SubqueryDescriptor
+from .builder import PlanBuilder
+from .invariants import InvariantInfo, mark_invariants
+from .nodes import explain
+from .optimizer import prune_scan_columns, try_exists_semijoin
+
+__all__ = [
+    "Binder",
+    "BoundBlock",
+    "InvariantInfo",
+    "PlanBuilder",
+    "SubqueryDescriptor",
+    "explain",
+    "mark_invariants",
+    "prune_scan_columns",
+    "try_exists_semijoin",
+]

@@ -1,0 +1,7 @@
+"""SQL frontend: lexer, AST, parser."""
+
+from . import ast
+from .lexer import tokenize
+from .parser import Parser, parse
+
+__all__ = ["Parser", "ast", "parse", "tokenize"]

@@ -1,0 +1,99 @@
+"""A hand-written SQL lexer."""
+
+from __future__ import annotations
+
+from ..errors import SqlError
+from .tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    NUMBER,
+    OPERATOR,
+    OPERATORS,
+    PUNCT,
+    PUNCTUATION,
+    STRING,
+    Token,
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split a SQL string into tokens, ending with an EOF token.
+
+    Raises:
+        SqlError: on unterminated strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            # line comment
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            end = i + 1
+            parts: list[str] = []
+            while True:
+                if end >= n:
+                    raise SqlError("unterminated string literal", i)
+                if sql[end] == "'":
+                    if end + 1 < n and sql[end + 1] == "'":
+                        parts.append(sql[i + 1 : end + 1])
+                        i = end + 1
+                        end = i + 1
+                        continue
+                    break
+                end += 1
+            parts.append(sql[i + 1 : end])
+            tokens.append(Token(STRING, "".join(parts).replace("''", "'"), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            while end < n and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    # a dot not followed by a digit is punctuation
+                    if end + 1 >= n or not sql[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(NUMBER, sql[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[i:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(IDENT, lowered, i))
+            i = end
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                canonical = "!=" if op == "<>" else op
+                tokens.append(Token(OPERATOR, canonical, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, "", n))
+    return tokens

@@ -1,0 +1,362 @@
+"""Recursive-descent parser producing :mod:`repro.sql.ast` trees."""
+
+from __future__ import annotations
+
+from ..errors import SqlError
+from . import ast
+from .lexer import tokenize
+from .tokens import EOF, IDENT, NUMBER, OPERATOR, PUNCT, STRING, Token
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+_AGGREGATES = {"min", "max", "sum", "avg", "count"}
+
+
+class Parser:
+    """Parses one SELECT statement from a token stream."""
+
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        idx = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlError:
+        return SqlError(message, self._peek().position)
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if not token.is_keyword(word):
+            raise SqlError(f"expected {word.upper()}, got {token.value!r}", token.position)
+
+    def _expect_punct(self, mark: str) -> None:
+        token = self._next()
+        if token.kind != PUNCT or token.value != mark:
+            raise SqlError(f"expected {mark!r}, got {token.value!r}", token.position)
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._next()
+            return True
+        return False
+
+    def _accept_punct(self, mark: str) -> bool:
+        token = self._peek()
+        if token.kind == PUNCT and token.value == mark:
+            self._next()
+            return True
+        return False
+
+    # -- entry point -----------------------------------------------------
+
+    def parse(self) -> ast.SelectStmt:
+        stmt = self._select_stmt()
+        self._accept_punct(";")
+        if self._peek().kind != EOF:
+            raise self._error(f"trailing input after statement: {self._peek().value!r}")
+        return stmt
+
+    # -- statement -------------------------------------------------------
+
+    def _select_stmt(self) -> ast.SelectStmt:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = self._select_items()
+        self._expect_keyword("from")
+        from_items = self._from_items()
+        where = self._expr() if self._accept_keyword("where") else None
+        group_by: tuple[ast.Expr, ...] = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._expr_list())
+        having = self._expr() if self._accept_keyword("having") else None
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = tuple(self._order_items())
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._next()
+            if token.kind != NUMBER:
+                raise SqlError("LIMIT requires an integer", token.position)
+            limit = int(token.value)
+        return ast.SelectStmt(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> list[ast.SelectItem]:
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.kind == OPERATOR and token.value == "*":
+            self._next()
+            return ast.SelectItem(ast.Star())
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias_token = self._next()
+            if alias_token.kind != IDENT:
+                raise SqlError("expected alias after AS", alias_token.position)
+            alias = alias_token.value
+        elif self._peek().kind == IDENT:
+            alias = self._next().value
+        return ast.SelectItem(expr, alias)
+
+    def _from_items(self) -> list[ast.FromItem]:
+        items = [self._from_item()]
+        while self._accept_punct(","):
+            items.append(self._from_item())
+        return items
+
+    def _from_item(self) -> ast.FromItem:
+        if self._accept_punct("("):
+            query = self._select_stmt()
+            self._expect_punct(")")
+            self._accept_keyword("as")
+            alias_token = self._next()
+            if alias_token.kind != IDENT:
+                raise SqlError("derived table requires an alias", alias_token.position)
+            return ast.DerivedTable(query, alias_token.value)
+        token = self._next()
+        if token.kind != IDENT:
+            raise SqlError(f"expected table name, got {token.value!r}", token.position)
+        alias = None
+        if self._accept_keyword("as"):
+            alias_token = self._next()
+            if alias_token.kind != IDENT:
+                raise SqlError("expected alias after AS", alias_token.position)
+            alias = alias_token.value
+        elif self._peek().kind == IDENT:
+            alias = self._next().value
+        return ast.TableRef(token.value, alias)
+
+    def _order_items(self) -> list[ast.OrderItem]:
+        items = []
+        while True:
+            expr = self._expr()
+            descending = False
+            if self._accept_keyword("desc"):
+                descending = True
+            else:
+                self._accept_keyword("asc")
+            items.append(ast.OrderItem(expr, descending))
+            if not self._accept_punct(","):
+                return items
+
+    def _expr_list(self) -> list[ast.Expr]:
+        exprs = [self._expr()]
+        while self._accept_punct(","):
+            exprs.append(self._expr())
+        return exprs
+
+    # -- expressions (precedence climbing) -------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = ast.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = ast.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._accept_keyword("not"):
+            return ast.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        if self._peek().is_keyword("exists"):
+            self._next()
+            self._expect_punct("(")
+            query = self._select_stmt()
+            self._expect_punct(")")
+            return ast.ExistsExpr(query)
+        left = self._additive()
+        token = self._peek()
+        negated = False
+        if token.is_keyword("not"):
+            follower = self._peek(1)
+            if follower.is_keyword("in") or follower.is_keyword("like") or follower.is_keyword("between"):
+                self._next()
+                negated = True
+                token = self._peek()
+        if token.kind == OPERATOR and token.value in _COMPARISONS:
+            op = self._next().value
+            follower = self._peek()
+            if (
+                follower.is_keyword("any")
+                or follower.is_keyword("all")
+                or follower.is_keyword("some")
+            ):
+                quantifier = "any" if follower.value in ("any", "some") else "all"
+                self._next()
+                self._expect_punct("(")
+                query = self._select_stmt()
+                self._expect_punct(")")
+                return ast.QuantifiedExpr(op, quantifier, left, query)
+            right = self._additive()
+            return ast.BinaryOp(op, left, right)
+        if token.is_keyword("like"):
+            self._next()
+            pattern = self._next()
+            if pattern.kind != STRING:
+                raise SqlError("LIKE requires a string pattern", pattern.position)
+            return ast.LikeExpr(left, pattern.value, negated)
+        if token.is_keyword("between"):
+            self._next()
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return ast.BetweenExpr(left, low, high, negated)
+        if token.is_keyword("in"):
+            self._next()
+            self._expect_punct("(")
+            if self._peek().is_keyword("select"):
+                query = self._select_stmt()
+                self._expect_punct(")")
+                return ast.InExpr(left, query=query, negated=negated)
+            values = tuple(self._expr_list())
+            self._expect_punct(")")
+            return ast.InExpr(left, values=values, negated=negated)
+        if token.is_keyword("is"):
+            raise self._error("IS [NOT] NULL is not supported (columns are non-null)")
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == OPERATOR and token.value in ("+", "-"):
+                op = self._next().value
+                left = ast.BinaryOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == OPERATOR and token.value in ("*", "/"):
+                op = self._next().value
+                left = ast.BinaryOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == OPERATOR and token.value == "-":
+            self._next()
+            operand = self._unary()
+            if isinstance(operand, ast.Literal) and operand.kind in ("int", "decimal"):
+                return ast.Literal(-operand.value, operand.kind)
+            return ast.UnaryOp("-", operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._next()
+            if "." in token.value:
+                return ast.Literal(float(token.value), "decimal")
+            return ast.Literal(int(token.value), "int")
+        if token.kind == STRING:
+            self._next()
+            return ast.Literal(token.value, "string")
+        if token.is_keyword("date"):
+            self._next()
+            value = self._next()
+            if value.kind != STRING:
+                raise SqlError("DATE requires a quoted literal", value.position)
+            return ast.Literal(value.value, "date")
+        if token.is_keyword("interval"):
+            self._next()
+            quantity = self._next()
+            if quantity.kind != STRING:
+                raise SqlError(
+                    "INTERVAL requires a quoted quantity", quantity.position
+                )
+            unit = self._next()
+            if unit.kind != IDENT or unit.value not in ("day", "month", "year"):
+                raise SqlError(
+                    "INTERVAL unit must be DAY, MONTH, or YEAR", unit.position
+                )
+            try:
+                amount = int(quantity.value)
+            except ValueError:
+                raise SqlError(
+                    "INTERVAL quantity must be an integer", quantity.position
+                ) from None
+            return ast.IntervalLiteral(amount, unit.value)
+        if token.kind == PUNCT and token.value == "(":
+            self._next()
+            if self._peek().is_keyword("select"):
+                query = self._select_stmt()
+                self._expect_punct(")")
+                return ast.SubqueryExpr(query)
+            expr = self._expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind == IDENT:
+            return self._identifier_expr()
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def _identifier_expr(self) -> ast.Expr:
+        name_token = self._next()
+        name = name_token.value
+        if self._accept_punct("("):
+            return self._func_call(name, name_token)
+        if self._accept_punct("."):
+            column = self._next()
+            if column.kind != IDENT:
+                raise SqlError("expected column after '.'", column.position)
+            return ast.ColumnRef(column.value, table=name)
+        return ast.ColumnRef(name)
+
+    def _func_call(self, name: str, name_token: Token) -> ast.Expr:
+        if name not in _AGGREGATES:
+            raise SqlError(f"unknown function {name!r}", name_token.position)
+        star = False
+        distinct = False
+        args: tuple[ast.Expr, ...] = ()
+        token = self._peek()
+        if token.kind == OPERATOR and token.value == "*":
+            self._next()
+            star = True
+        elif not (token.kind == PUNCT and token.value == ")"):
+            distinct = self._accept_keyword("distinct")
+            args = tuple(self._expr_list())
+        self._expect_punct(")")
+        return ast.FuncCall(name, args, star=star, distinct=distinct)
+
+
+def parse(sql: str) -> ast.SelectStmt:
+    """Parse one SELECT statement."""
+    return Parser(sql).parse()

@@ -1,0 +1,68 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "limit",
+    "as",
+    "and",
+    "or",
+    "not",
+    "exists",
+    "in",
+    "like",
+    "between",
+    "date",
+    "asc",
+    "desc",
+    "is",
+    "null",
+    "any",
+    "all",
+    "some",
+    "interval",
+}
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+KEYWORD = "KEYWORD"
+OPERATOR = "OPERATOR"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+OPERATORS = ["<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/"]
+PUNCTUATION = ["(", ")", ",", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: one of the kind constants above.
+        value: the normalised text (keywords lower-cased, strings
+            unquoted, numbers kept as text until the parser types them).
+        position: character offset in the source, for error messages.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"

@@ -1,0 +1,49 @@
+"""Column-store storage substrate: types, columns, tables, catalog."""
+
+from .catalog import Catalog
+from .column import Column, Dictionary, column_from_values, string_column
+from .io import load_catalog, save_catalog
+from .datatypes import (
+    BIGINT,
+    DATE,
+    DECIMAL,
+    INT,
+    DataType,
+    char,
+    date_to_int,
+    date_type,
+    decimal_type,
+    int_to_date,
+    int_type,
+    string_type,
+    varchar,
+)
+from .schema import ColumnDef, Schema, schema
+from .table import Table
+
+__all__ = [
+    "BIGINT",
+    "DATE",
+    "DECIMAL",
+    "INT",
+    "Catalog",
+    "Column",
+    "ColumnDef",
+    "DataType",
+    "Dictionary",
+    "Schema",
+    "Table",
+    "char",
+    "column_from_values",
+    "date_to_int",
+    "date_type",
+    "decimal_type",
+    "int_to_date",
+    "int_type",
+    "load_catalog",
+    "save_catalog",
+    "schema",
+    "string_column",
+    "string_type",
+    "varchar",
+]

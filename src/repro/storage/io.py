@@ -1,0 +1,82 @@
+"""Catalog persistence: save/load to a directory of .npz files.
+
+Generating a large micro-scale catalog costs seconds; persisting it
+lets benchmark sessions and downstream users reload instantly.  Each
+table becomes one ``<name>.npz`` holding the column arrays plus a JSON
+sidecar with the schema (type names, widths) and the string
+dictionaries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from ..errors import ReproError
+from .catalog import Catalog
+from .column import Column, Dictionary
+from .datatypes import DataType
+from .table import Table
+
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: Catalog, directory: str | pathlib.Path) -> None:
+    """Write every table of ``catalog`` under ``directory``."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {"version": _FORMAT_VERSION, "tables": []}
+    for table in catalog:
+        arrays = {}
+        schema = []
+        dictionaries = {}
+        for column in table.columns:
+            arrays[column.name] = column.data
+            schema.append(
+                {
+                    "name": column.name,
+                    "type": column.dtype.name,
+                    "width": column.dtype.width,
+                    "np_dtype": str(column.dtype.np_dtype),
+                }
+            )
+            if column.dictionary is not None:
+                dictionaries[column.name] = list(column.dictionary)
+        np.savez_compressed(path / f"{table.name}.npz", **arrays)
+        (path / f"{table.name}.schema.json").write_text(
+            json.dumps({"schema": schema, "dictionaries": dictionaries})
+        )
+        manifest["tables"].append(table.name)
+    (path / "catalog.json").write_text(json.dumps(manifest))
+
+
+def load_catalog(directory: str | pathlib.Path) -> Catalog:
+    """Reload a catalog previously written by :func:`save_catalog`."""
+    path = pathlib.Path(directory)
+    manifest_path = path / "catalog.json"
+    if not manifest_path.exists():
+        raise ReproError(f"no catalog manifest under {path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported catalog format version {manifest.get('version')}"
+        )
+    tables = []
+    for name in manifest["tables"]:
+        with np.load(path / f"{name}.npz") as arrays:
+            sidecar = json.loads((path / f"{name}.schema.json").read_text())
+            columns = []
+            for entry in sidecar["schema"]:
+                dtype = DataType(
+                    entry["type"], entry["width"], np.dtype(entry["np_dtype"])
+                )
+                dictionary = None
+                if entry["name"] in sidecar["dictionaries"]:
+                    dictionary = Dictionary(sidecar["dictionaries"][entry["name"]])
+                columns.append(
+                    Column(entry["name"], dtype, arrays[entry["name"]], dictionary)
+                )
+        tables.append(Table(name, columns))
+    return Catalog(tables)

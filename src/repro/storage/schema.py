@@ -1,0 +1,60 @@
+"""Schemas: ordered named, typed column descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CatalogError
+from .datatypes import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Declaration of one column: its name and logical type."""
+
+    name: str
+    dtype: DataType
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnDef` with name lookup."""
+
+    def __init__(self, columns: list[ColumnDef]):
+        self._columns = list(columns)
+        self._by_name = {c.name: i for i, c in enumerate(columns)}
+        if len(self._by_name) != len(columns):
+            raise CatalogError("duplicate column names in schema")
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    def column(self, name: str) -> ColumnDef:
+        try:
+            return self._columns[self._by_name[name]]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def row_width(self) -> int:
+        """Sum of declared column widths — bytes per tuple."""
+        return sum(c.dtype.width for c in self._columns)
+
+
+def schema(*pairs: tuple[str, DataType]) -> Schema:
+    """Build a schema from ``(name, dtype)`` pairs."""
+    return Schema([ColumnDef(name, dtype) for name, dtype in pairs])

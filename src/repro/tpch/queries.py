@@ -1,0 +1,185 @@
+"""SQL text of every query used in the paper's evaluation.
+
+Names follow the paper:
+
+* ``TPCH_Q2``, ``TPCH_Q4``, ``TPCH_Q17`` — the three TPC-H queries with
+  a type-JA (Q2, Q17) or type-J (Q4) correlated subquery (Figures 8-10).
+* ``PAPER_Q1`` / ``PAPER_Q2_UNNESTED`` / ``PAPER_Q3`` — the motivating
+  Queries 1-3 over the synthetic R/S/T schema.
+* ``PAPER_Q4V`` — the paper's "Query 4": TPC-H Q2 plus a brand
+  predicate, base of all variants.
+* ``PAPER_Q5`` — non-unnestable variant (``>`` comparison and ``!=``
+  correlation), Figure 11.
+* ``PAPER_Q6`` — smaller outer table (extra container/size predicates),
+  Figure 12.
+* ``PAPER_Q7`` — larger outer table (brand predicate dropped),
+  Figure 13 indexing experiment.
+* ``PAPER_Q8`` — larger inner table (region filter dropped from the
+  subquery), Figure 14 memory experiment.
+"""
+
+from __future__ import annotations
+
+TPCH_Q2 = """
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part, supplier, partsupp, nation, region
+WHERE p_partkey = ps_partkey
+  AND s_suppkey = ps_suppkey
+  AND p_size = 15
+  AND p_type LIKE '%BRASS'
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+    SELECT min(ps_supplycost)
+    FROM partsupp, supplier, nation, region
+    WHERE p_partkey = ps_partkey
+      AND s_suppkey = ps_suppkey
+      AND s_nationkey = n_nationkey
+      AND n_regionkey = r_regionkey
+      AND r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100
+"""
+
+TPCH_Q4 = """
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01'
+  AND o_orderdate < DATE '1993-10-01'
+  AND EXISTS (
+    SELECT *
+    FROM lineitem
+    WHERE l_orderkey = o_orderkey
+      AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority
+"""
+
+TPCH_Q17 = """
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < (
+    SELECT 0.2 * avg(l_quantity)
+    FROM lineitem
+    WHERE l_partkey = p_partkey)
+"""
+
+# ---------------------------------------------------------------------------
+# Motivating queries 1-3 (synthetic R/S/T schema, see repro.bench.figures
+# and tests/fixtures).
+# ---------------------------------------------------------------------------
+
+PAPER_Q1 = """
+SELECT r_col1, r_col2
+FROM r
+WHERE r_col2 = (
+  SELECT min(s_col2)
+  FROM s
+  WHERE r_col1 = s_col1)
+"""
+
+PAPER_Q2_UNNESTED = """
+SELECT r_col1, r_col2
+FROM r, (
+  SELECT min(s_col2) AS t1_min_col2, s_col1 AS t1_col1
+  FROM s
+  GROUP BY s_col1) AS t1
+WHERE r_col1 = t1_col1
+  AND r_col2 = t1_min_col2
+"""
+
+PAPER_Q3 = """
+SELECT r_col1, r_col2
+FROM r
+WHERE r_col2 = (
+  SELECT min(t_col2)
+  FROM t, s
+  WHERE t_col1 = r_col1
+    AND s_col1 > 0
+    AND t_col3 = s_col3)
+"""
+
+# ---------------------------------------------------------------------------
+# The paper's Query 4 and its variants 5-8 (Section V-B).
+# ---------------------------------------------------------------------------
+
+
+def _q2_variant(
+    outer_extra: str = "",
+    with_brand: bool = True,
+    size: int = 15,
+    subq_operator: str = "=",
+    correlation_operator: str = "=",
+    inner_region_filter: bool = True,
+) -> str:
+    """Assemble a TPC-H Q2 variant per the paper's line edits."""
+    outer_predicates = [
+        "p_partkey = ps_partkey",
+        "s_suppkey = ps_suppkey",
+        f"p_size = {size}",
+        "p_type LIKE '%BRASS'",
+    ]
+    if with_brand:
+        outer_predicates.append("p_brand = 'Brand#41'")
+    if outer_extra:
+        outer_predicates.append(outer_extra)
+    outer_predicates += [
+        "s_nationkey = n_nationkey",
+        "n_regionkey = r_regionkey",
+        "r_name = 'EUROPE'",
+    ]
+    inner_predicates = [
+        f"p_partkey {correlation_operator} ps_partkey",
+        "s_suppkey = ps_suppkey",
+        "s_nationkey = n_nationkey",
+        "n_regionkey = r_regionkey",
+    ]
+    if inner_region_filter:
+        inner_predicates.append("r_name = 'EUROPE'")
+    outer_where = "\n  AND ".join(outer_predicates)
+    inner_where = "\n      AND ".join(inner_predicates)
+    return f"""
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part, supplier, partsupp, nation, region
+WHERE {outer_where}
+  AND ps_supplycost {subq_operator} (
+    SELECT min(ps_supplycost)
+    FROM partsupp, supplier, nation, region
+    WHERE {inner_where})
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100
+"""
+
+
+# Paper "Query 4": TPC-H Q2 plus p_brand = 'Brand#41' in the outer block.
+PAPER_Q4V = _q2_variant()
+
+# Paper "Query 5": cannot be unnested — the predicate becomes
+# ps_supplycost > (subquery) and the correlation becomes !=.
+PAPER_Q5 = _q2_variant(subq_operator=">", correlation_operator="!=")
+
+# Paper "Query 6": smaller outer table (container LIKE '%BAG', size 20).
+PAPER_Q6 = _q2_variant(outer_extra="p_container LIKE '%BAG'", size=20)
+
+# Paper "Query 7": larger outer table (brand predicate removed).
+PAPER_Q7 = _q2_variant(with_brand=False)
+
+# Paper "Query 8": larger inner table (region filter removed from the
+# subquery, so the derived table of the unnested rewrite covers every
+# region).
+PAPER_Q8 = _q2_variant(inner_region_filter=False)
+
+ALL_EVALUATION_QUERIES = {
+    "tpch_q2": TPCH_Q2,
+    "tpch_q4": TPCH_Q4,
+    "tpch_q17": TPCH_Q17,
+    "paper_q4v": PAPER_Q4V,
+    "paper_q5": PAPER_Q5,
+    "paper_q6": PAPER_Q6,
+    "paper_q7": PAPER_Q7,
+    "paper_q8": PAPER_Q8,
+}

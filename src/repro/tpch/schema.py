@@ -1,0 +1,146 @@
+"""TPC-H table schemas and micro-scale cardinalities.
+
+The paper evaluates on standard ``dbgen`` data at scale factors 1-100.
+A pure-Python session cannot hold multi-hundred-million-row tables, so
+the generator produces *micro-scale* data: the same eight tables, the
+same key relationships and value distributions, with every cardinality
+scaled down by a constant factor (see ``BASE_ROWS``).  Scale factor
+``sf`` multiplies these base cardinalities exactly as in TPC-H, so the
+scale-factor axis of every experiment still sweeps a proportional
+data-size range (documented in DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from ..storage import DECIMAL, DATE, char, int_type, varchar
+
+INT4 = int_type(4)
+
+REGION = [
+    ("r_regionkey", INT4),
+    ("r_name", char(25)),
+    ("r_comment", varchar(152)),
+]
+
+NATION = [
+    ("n_nationkey", INT4),
+    ("n_name", char(25)),
+    ("n_regionkey", INT4),
+    ("n_comment", varchar(152)),
+]
+
+SUPPLIER = [
+    ("s_suppkey", INT4),
+    ("s_name", char(25)),
+    ("s_address", varchar(40)),
+    ("s_nationkey", INT4),
+    ("s_phone", char(15)),
+    ("s_acctbal", DECIMAL),
+    ("s_comment", varchar(101)),
+]
+
+CUSTOMER = [
+    ("c_custkey", INT4),
+    ("c_name", varchar(25)),
+    ("c_address", varchar(40)),
+    ("c_nationkey", INT4),
+    ("c_phone", char(15)),
+    ("c_acctbal", DECIMAL),
+    ("c_mktsegment", char(10)),
+    ("c_comment", varchar(117)),
+]
+
+PART = [
+    ("p_partkey", INT4),
+    ("p_name", varchar(55)),
+    ("p_mfgr", char(25)),
+    ("p_brand", char(10)),
+    ("p_type", varchar(25)),
+    ("p_size", INT4),
+    ("p_container", char(10)),
+    ("p_retailprice", DECIMAL),
+    ("p_comment", varchar(23)),
+]
+
+PARTSUPP = [
+    ("ps_partkey", INT4),
+    ("ps_suppkey", INT4),
+    ("ps_availqty", INT4),
+    ("ps_supplycost", DECIMAL),
+    ("ps_comment", varchar(199)),
+]
+
+ORDERS = [
+    ("o_orderkey", INT4),
+    ("o_custkey", INT4),
+    ("o_orderstatus", char(1)),
+    ("o_totalprice", DECIMAL),
+    ("o_orderdate", DATE),
+    ("o_orderpriority", char(15)),
+    ("o_clerk", char(15)),
+    ("o_shippriority", INT4),
+    ("o_comment", varchar(79)),
+]
+
+LINEITEM = [
+    ("l_orderkey", INT4),
+    ("l_partkey", INT4),
+    ("l_suppkey", INT4),
+    ("l_linenumber", INT4),
+    ("l_quantity", DECIMAL),
+    ("l_extendedprice", DECIMAL),
+    ("l_discount", DECIMAL),
+    ("l_tax", DECIMAL),
+    ("l_returnflag", char(1)),
+    ("l_linestatus", char(1)),
+    ("l_shipdate", DATE),
+    ("l_commitdate", DATE),
+    ("l_receiptdate", DATE),
+    ("l_shipinstruct", char(25)),
+    ("l_shipmode", char(10)),
+    ("l_comment", varchar(44)),
+]
+
+TABLE_SPECS = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+# Micro-scale base cardinalities per unit of scale factor.  The ratios
+# between tables follow TPC-H (4 partsupp rows per part, ~4 lineitem
+# rows per order); absolute values are ~1/100 of dbgen so that a SF-20
+# sweep stays laptop-sized.
+BASE_ROWS = {
+    "supplier": 100,
+    "customer": 300,
+    "part": 2000,
+    "partsupp": 8000,
+    "orders": 3000,
+    "lineitem": 12000,  # approximate: 1-7 lines per order
+}
+
+# dbgen cardinalities per unit of scale factor, used to report the
+# down-scale ratio in EXPERIMENTS.md.
+DBGEN_ROWS = {
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def rows_at_scale(table: str, scale_factor: float) -> int:
+    """Number of rows of ``table`` at the given (micro) scale factor."""
+    if table == "region":
+        return 5
+    if table == "nation":
+        return 25
+    return max(1, int(round(BASE_ROWS[table] * scale_factor)))

@@ -1,0 +1,103 @@
+"""Value pools for TPC-H string columns.
+
+These mirror the vocabularies of the TPC-H specification closely enough
+that every predicate appearing in the paper's queries (``p_type LIKE
+'%BRASS'``, ``p_container = 'MED BOX'``, ``p_container LIKE '%BAG'``,
+``p_brand = 'Brand#41'``, ``r_name = 'EUROPE'``) selects the same
+fraction of rows as it does on dbgen data.
+"""
+
+from __future__ import annotations
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# 25 nations, 5 per region, following the dbgen nation -> region map.
+NATIONS = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+SHIP_INSTRUCTIONS = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+COMMENT_WORDS = [
+    "furiously", "carefully", "slyly", "quickly", "blithely", "deposits",
+    "requests", "packages", "instructions", "accounts", "foxes", "ideas",
+    "theodolites", "pinto", "beans", "dependencies", "excuses", "platelets",
+    "asymptotes", "courts", "dolphins", "multipliers", "sauternes", "warthogs",
+    "frets", "dinos", "attainments", "somas", "braids", "hockey", "players",
+    "sheaves", "pearls", "wolves",
+]
+
+
+def brand(m: int, n: int) -> str:
+    """The TPC-H brand string ``Brand#MN`` with M, N in 1..5."""
+    return f"Brand#{m}{n}"
+
+
+def mfgr(m: int) -> str:
+    """The TPC-H manufacturer string ``Manufacturer#M`` with M in 1..5."""
+    return f"Manufacturer#{m}"
+
+
+ALL_BRANDS = [brand(m, n) for m in range(1, 6) for n in range(1, 6)]
+ALL_TYPES = [
+    f"{a} {b} {c}"
+    for a in TYPE_SYLLABLE_1
+    for b in TYPE_SYLLABLE_2
+    for c in TYPE_SYLLABLE_3
+]
+ALL_CONTAINERS = [
+    f"{a} {b}" for a in CONTAINER_SYLLABLE_1 for b in CONTAINER_SYLLABLE_2
+]

@@ -1,0 +1,141 @@
+"""Tests for the comparison systems (paper Section V orderings)."""
+
+import pytest
+
+from repro.baselines import (
+    GPUDBPlus,
+    MonetDBLike,
+    NestGPUSystem,
+    OmniSciLike,
+    PostgresNested,
+    PostgresUnnested,
+    all_systems,
+)
+from repro.errors import UnnestingError
+from repro.tpch import queries
+
+from conftest import rows_set
+
+
+@pytest.fixture(scope="module")
+def systems(tpch_small):
+    return all_systems(tpch_small)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["tpch_q2", "tpch_q4", "tpch_q17"])
+    def test_all_systems_agree(self, systems, name):
+        sql = queries.ALL_EVALUATION_QUERIES[name]
+        results = [system.execute(sql) for system in systems]
+        reference = rows_set(results[-1])
+        for system, result in zip(systems, results):
+            assert rows_set(result) == reference, system.name
+
+    def test_query5_unnested_systems_refuse(self, tpch_small):
+        for cls in (PostgresUnnested, MonetDBLike, OmniSciLike, GPUDBPlus):
+            with pytest.raises(UnnestingError):
+                cls(tpch_small).execute(queries.PAPER_Q5)
+
+    def test_query5_nested_systems_run(self, tpch_small):
+        nested = NestGPUSystem(tpch_small).execute(queries.PAPER_Q5)
+        pg = PostgresNested(tpch_small).execute(queries.PAPER_Q5)
+        assert rows_set(nested) == rows_set(pg)
+
+
+class TestOrderings:
+    """The relative orderings the paper's figures hinge on."""
+
+    def test_pg_nested_much_slower_than_unnested_q2(self, tpch_small):
+        # Figure 8: nested pgSQL is orders of magnitude slower
+        nested = PostgresNested(tpch_small).execute(queries.TPCH_Q2)
+        unnested = PostgresUnnested(tpch_small).execute(queries.TPCH_Q2)
+        assert nested.total_ms > unnested.total_ms * 5
+
+    def test_pg_unnested_slower_than_nested_q4(self, tpch_small):
+        # Figure 9: the extra GROUP BY makes unnested Q4 slower on pgSQL
+        nested = PostgresNested(tpch_small).execute(queries.TPCH_Q4)
+        unnested = PostgresUnnested(tpch_small).execute(queries.TPCH_Q4)
+        assert unnested.total_ms > nested.total_ms
+
+    def test_nestgpu_beats_postgres(self, tpch_small):
+        for name in ("tpch_q2", "tpch_q4", "tpch_q17"):
+            sql = queries.ALL_EVALUATION_QUERIES[name]
+            gpu = NestGPUSystem(tpch_small).execute(sql)
+            pg = PostgresNested(tpch_small).execute(sql)
+            assert gpu.total_ms < pg.total_ms
+
+    def test_nestgpu_beats_postgres_on_q5_by_orders_of_magnitude(self, tpch_small):
+        # Figure 11: two orders of magnitude on the non-unnestable query
+        gpu = NestGPUSystem(tpch_small).execute(queries.PAPER_Q5)
+        pg = PostgresNested(tpch_small).execute(queries.PAPER_Q5)
+        assert pg.total_ms / gpu.total_ms > 50
+
+    def test_gpudbplus_not_slower_than_omnisci(self, tpch_small):
+        # Figures 8/10: GPUDB+ consistently ahead of OmniSci
+        for name in ("tpch_q2", "tpch_q17"):
+            sql = queries.ALL_EVALUATION_QUERIES[name]
+            plus = GPUDBPlus(tpch_small).execute(sql)
+            omni = OmniSciLike(tpch_small).execute(sql)
+            assert plus.total_ms < omni.total_ms
+
+    def test_nestgpu_comparable_to_gpudbplus(self, tpch_small):
+        # the headline claim: nested execution is competitive with the
+        # unnested method on GPU
+        for name in ("tpch_q2", "tpch_q17"):
+            sql = queries.ALL_EVALUATION_QUERIES[name]
+            nest = NestGPUSystem(tpch_small).execute(sql)
+            plus = GPUDBPlus(tpch_small).execute(sql)
+            assert nest.total_ms < plus.total_ms * 5
+
+    def test_nestgpu_beats_gpudbplus_small_outer(self, tpch_small):
+        # Figure 12: with a small outer table the nested method wins
+        nest = NestGPUSystem(tpch_small).execute(queries.PAPER_Q6)
+        plus = GPUDBPlus(tpch_small).execute(queries.PAPER_Q6)
+        assert nest.total_ms < plus.total_ms
+
+    def test_nestgpu_beats_nested_q4_of_everyone(self, tpch_small):
+        # Figure 9: NestGPU fastest on Q4 (GPU semi-join)
+        sql = queries.TPCH_Q4
+        nest = NestGPUSystem(tpch_small).execute(sql)
+        for system in (
+            PostgresNested(tpch_small),
+            PostgresUnnested(tpch_small),
+            OmniSciLike(tpch_small),
+        ):
+            assert nest.total_ms < system.execute(sql).total_ms
+
+
+class TestMonetDB:
+    def test_magic_sets_help(self, tpch_small):
+        plain = PostgresUnnested(tpch_small)
+        monet = MonetDBLike(tpch_small)
+        # same results despite the push-down
+        for name in ("tpch_q2", "tpch_q17"):
+            sql = queries.ALL_EVALUATION_QUERIES[name]
+            assert rows_set(monet.execute(sql)) == rows_set(plain.execute(sql))
+
+    def test_monet_is_fastest_cpu_system(self, tpch_small):
+        for name in ("tpch_q2", "tpch_q4", "tpch_q17"):
+            sql = queries.ALL_EVALUATION_QUERIES[name]
+            monet = MonetDBLike(tpch_small).execute(sql)
+            pg = PostgresUnnested(tpch_small).execute(sql)
+            assert monet.total_ms < pg.total_ms
+
+
+class TestMemoryBehaviour:
+    def test_gpudbplus_oom_on_small_device(self):
+        """Figure 14: the unnested method exhausts a small device while
+        NestGPU keeps running."""
+        from repro.errors import DeviceMemoryError
+        from repro.gpu import DeviceSpec
+        from repro.tpch import generate_tpch
+
+        catalog = generate_tpch(2.0)
+        tiny = DeviceSpec.gtx1080().with_memory(800_000)  # scaled-down VRAM
+        plus = GPUDBPlus(catalog, device=tiny)
+        with pytest.raises(DeviceMemoryError):
+            plus.execute(queries.PAPER_Q8)
+
+        nest = NestGPUSystem(catalog, device=tiny)
+        result = nest.execute(queries.PAPER_Q8)
+        assert result.stats.peak_device_bytes <= tiny.memory_bytes

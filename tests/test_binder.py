@@ -1,0 +1,251 @@
+"""Unit tests for name resolution and correlation analysis."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.plan import Binder
+from repro.plan.expressions import (
+    ColRef,
+    Compare,
+    Const,
+    InCodes,
+    ParamRef,
+)
+from repro.sql import parse
+from repro.tpch import queries
+
+
+def bind(catalog, sql):
+    return Binder(catalog).bind(parse(sql))
+
+
+class TestResolution:
+    def test_unqualified_column(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT r_col1 FROM r")
+        ref = block.select_exprs[0]
+        assert isinstance(ref, ColRef)
+        assert ref.qual == "r.r_col1"
+
+    def test_qualified_column(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT r.r_col1 FROM r")
+        assert block.select_exprs[0].qual == "r.r_col1"
+
+    def test_alias_binding(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT x.r_col1 FROM r AS x")
+        assert block.select_exprs[0].binding == "x"
+
+    def test_unknown_column(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(rst_catalog, "SELECT nope FROM r")
+
+    def test_unknown_table(self, rst_catalog):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            bind(rst_catalog, "SELECT a FROM missing")
+
+    def test_duplicate_alias_rejected(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(rst_catalog, "SELECT r_col1 FROM r AS x, s AS x")
+
+    def test_star_expansion(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT * FROM s")
+        assert block.select_names == ["s_col1", "s_col2", "s_col3"]
+
+    def test_select_names_unique(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT r_col1, r_col1 FROM r")
+        assert len(set(block.select_names)) == 2
+
+
+class TestCorrelationAnalysis:
+    def test_uncorrelated_subquery(self, rst_catalog):
+        block = bind(
+            rst_catalog,
+            "SELECT r_col1 FROM r WHERE r_col2 = (SELECT min(s_col2) FROM s)",
+        )
+        descriptor = block.subqueries[0]
+        assert not descriptor.is_correlated
+        assert descriptor.free_quals == ()
+
+    def test_correlated_subquery(self, rst_catalog):
+        block = bind(rst_catalog, queries.PAPER_Q1)
+        descriptor = block.subqueries[0]
+        assert descriptor.is_correlated
+        assert descriptor.free_quals == ("r.r_col1",)
+
+    def test_param_ref_in_inner_conjunct(self, rst_catalog):
+        block = bind(rst_catalog, queries.PAPER_Q1)
+        inner = block.subqueries[0].block
+        params = [
+            node
+            for conjunct in inner.conjuncts
+            for node in conjunct.walk()
+            if isinstance(node, ParamRef)
+        ]
+        assert params and params[0].qual == "r.r_col1"
+
+    def test_shadowing_inner_binding_wins(self, tpch_small):
+        # Q17: inner `l_partkey` binds to the inner lineitem, not outer
+        block = bind(tpch_small, queries.TPCH_Q17)
+        descriptor = block.subqueries[0]
+        assert descriptor.free_quals == ("part.p_partkey",)
+
+    def test_same_table_both_levels_distinct_bindings(self, tpch_small):
+        block = bind(tpch_small, queries.TPCH_Q2)
+        inner = block.subqueries[0].block
+        inner_bindings = {t.binding for t in inner.tables}
+        outer_bindings = {t.binding for t in block.tables}
+        assert not (inner_bindings & outer_bindings)
+
+    def test_exists_kind(self, tpch_small):
+        block = bind(tpch_small, queries.TPCH_Q4)
+        assert block.subqueries[0].kind == "exists"
+
+    def test_in_subquery_kind(self, rst_catalog):
+        block = bind(
+            rst_catalog,
+            "SELECT r_col1 FROM r WHERE r_col1 IN (SELECT s_col1 FROM s)",
+        )
+        descriptor = block.subqueries[0]
+        assert descriptor.kind == "in"
+        assert descriptor.in_operand is not None
+
+    def test_three_level_nesting(self, rst_catalog):
+        block = bind(
+            rst_catalog,
+            """
+            SELECT r_col1 FROM r WHERE r_col2 = (
+              SELECT min(s_col2) FROM s WHERE s_col1 = r_col1 AND s_col3 = (
+                SELECT max(t_col3) FROM t WHERE t_col1 = s_col1))
+            """,
+        )
+        level1 = block.subqueries[0]
+        level2 = level1.block.subqueries[0]
+        assert level1.free_quals == ("r.r_col1",)
+        assert level2.free_quals == ("s.s_col1",)
+
+    def test_innermost_referencing_outermost(self, rst_catalog):
+        block = bind(
+            rst_catalog,
+            """
+            SELECT r_col1 FROM r WHERE r_col2 = (
+              SELECT min(s_col2) FROM s WHERE s_col1 = r_col1 AND s_col3 = (
+                SELECT max(t_col3) FROM t WHERE t_col1 = r_col1))
+            """,
+        )
+        level1 = block.subqueries[0]
+        # r.r_col1 is free in level-1 both directly and through level-2
+        assert level1.free_quals == ("r.r_col1",)
+        level2 = level1.block.subqueries[0]
+        assert level2.free_quals == ("r.r_col1",)
+
+
+class TestLiteralEncoding:
+    def test_string_equality_encoded(self, tpch_small):
+        block = bind(
+            tpch_small, "SELECT r_name FROM region WHERE r_name = 'EUROPE'"
+        )
+        comparison = block.conjuncts[0]
+        assert isinstance(comparison, Compare)
+        assert isinstance(comparison.right, Const)
+        europe = tpch_small.table("region").column("r_name")
+        assert comparison.right.value == europe.dictionary.code_of("EUROPE")
+
+    def test_absent_string_encodes_to_fraction(self, tpch_small):
+        block = bind(
+            tpch_small, "SELECT r_name FROM region WHERE r_name = 'ATLANTIS'"
+        )
+        value = block.conjuncts[0].right.value
+        assert value != int(value)  # cannot equal any real code
+
+    def test_date_literal_encoded(self, tpch_small):
+        from repro.storage import date_to_int
+
+        block = bind(
+            tpch_small,
+            "SELECT o_orderkey FROM orders WHERE o_orderdate >= DATE '1993-07-01'",
+        )
+        assert block.conjuncts[0].right.value == date_to_int("1993-07-01")
+
+    def test_like_becomes_code_set(self, tpch_small):
+        block = bind(
+            tpch_small, "SELECT p_partkey FROM part WHERE p_type LIKE '%BRASS'"
+        )
+        predicate = block.conjuncts[0]
+        assert isinstance(predicate, InCodes)
+        dictionary = tpch_small.table("part").column("p_type").dictionary
+        decoded = [dictionary[c] for c in predicate.codes]
+        assert decoded and all(v.endswith("BRASS") for v in decoded)
+
+    def test_like_underscore(self, tpch_small):
+        block = bind(
+            tpch_small,
+            "SELECT r_regionkey FROM region WHERE r_name LIKE 'A_IA'",
+        )
+        dictionary = tpch_small.table("region").column("r_name").dictionary
+        decoded = [dictionary[c] for c in block.conjuncts[0].codes]
+        assert decoded == ["ASIA"]
+
+    def test_like_on_numeric_rejected(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(rst_catalog, "SELECT r_col1 FROM r WHERE r_col1 LIKE 'x%'")
+
+    def test_string_vs_numeric_rejected(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(rst_catalog, "SELECT r_col1 FROM r WHERE r_col1 = 'oops'")
+
+    def test_in_string_list(self, tpch_small):
+        block = bind(
+            tpch_small,
+            "SELECT r_regionkey FROM region WHERE r_name IN ('ASIA', 'EUROPE')",
+        )
+        predicate = block.conjuncts[0]
+        assert isinstance(predicate, InCodes) and len(predicate.codes) == 2
+
+    def test_between_encodes_bounds(self, tpch_small):
+        block = bind(
+            tpch_small,
+            "SELECT o_orderkey FROM orders WHERE o_orderdate "
+            "BETWEEN DATE '1993-01-01' AND DATE '1993-12-31'",
+        )
+        # BETWEEN lowers to >= AND <=
+        from repro.plan.expressions import BoolOp
+
+        assert isinstance(block.conjuncts[0], BoolOp)
+
+
+class TestAggregateBinding:
+    def test_aggregate_collected(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT min(r_col1) FROM r")
+        assert [a.op for a in block.aggs] == ["min"]
+        assert block.is_aggregate
+
+    def test_count_star(self, rst_catalog):
+        block = bind(rst_catalog, "SELECT count(*) FROM r")
+        assert block.aggs[0].arg is None
+
+    def test_agg_in_where_rejected(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(rst_catalog, "SELECT r_col1 FROM r WHERE min(r_col1) = 1")
+
+    def test_group_by_and_order_by_names(self, tpch_small):
+        block = bind(tpch_small, queries.TPCH_Q4)
+        assert block.group_keys and block.order_keys
+        assert block.order_keys[0][0] == "o_orderpriority"
+
+    def test_order_by_alias(self, rst_catalog):
+        block = bind(
+            rst_catalog, "SELECT r_col1 AS k FROM r ORDER BY k DESC"
+        )
+        assert block.order_keys == [("k", True)]
+
+    def test_order_by_not_in_select_rejected(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(rst_catalog, "SELECT r_col1 FROM r ORDER BY r_col2")
+
+    def test_correlated_derived_table_rejected(self, rst_catalog):
+        with pytest.raises(BindError):
+            bind(
+                rst_catalog,
+                "SELECT r_col1 FROM r, (SELECT s_col1 FROM s WHERE s_col1 = r_col1) AS d",
+            )

@@ -1,0 +1,119 @@
+"""Tests for EXPLAIN output and the CLI shell."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, format_result, main, make_engine, repl, run_statement
+from repro.core import NestGPU
+from repro.tpch import queries
+
+
+class TestExplain:
+    def test_nested_explain_shows_marks(self, tpch_small):
+        db = NestGPU(tpch_small)
+        text = db.explain(queries.TPCH_Q2, mode="nested")
+        assert "execution path: nested" in text
+        assert "SUBQFILTER" in text
+        assert "[transient]" in text and "[invariant]" in text
+        assert "correlated on part.p_partkey" in text
+
+    def test_unnested_explain(self, tpch_small):
+        db = NestGPU(tpch_small)
+        text = db.explain(queries.TPCH_Q2, mode="unnested")
+        assert "execution path: unnested" in text
+        assert "DERIVED" in text
+
+    def test_flat_explain(self, tpch_small):
+        db = NestGPU(tpch_small)
+        text = db.explain("SELECT p_partkey FROM part WHERE p_size = 15")
+        assert "execution path: flat" in text
+
+    def test_auto_explain_shows_choice(self, tpch_small):
+        db = NestGPU(tpch_small)
+        text = db.explain(queries.PAPER_Q5)
+        assert "execution path: nested" in text  # cannot be unnested
+
+
+class TestFormatResult:
+    def test_basic_table(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute(
+            "SELECT r_regionkey, r_name FROM region ORDER BY r_regionkey"
+        )
+        text = format_result(result)
+        assert "r_regionkey" in text and "EUROPE" in text
+        assert "(5 rows;" in text
+
+    def test_truncation(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT p_partkey FROM part")
+        text = format_result(result, max_rows=3)
+        assert "more rows" in text
+
+    def test_integral_floats_render_as_ints(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT count(*) AS n FROM region")
+        assert "| 5" in format_result(result) or "5" in format_result(result).splitlines()[2]
+
+
+class TestCli:
+    def test_one_shot_query(self, capsys):
+        code = main(["--scale", "0.25", "-q", "SELECT count(*) AS n FROM region"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 rows" in out
+
+    def test_one_shot_error(self, capsys):
+        code = main(["--scale", "0.25", "-q", "SELECT FROM"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_explain_flag(self, capsys):
+        code = main([
+            "--scale", "0.25", "--explain",
+            "-q", "SELECT r_name FROM region",
+        ])
+        assert code == 0
+        assert "execution path" in capsys.readouterr().out
+
+    def test_source_flag(self, capsys):
+        code = main([
+            "--scale", "0.25", "--source",
+            "-q", "SELECT r_name FROM region",
+        ])
+        assert code == 0
+        assert "def drive(rt):" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == 1.0 and args.mode == "auto"
+
+    def test_repl_session(self):
+        args = build_parser().parse_args(["--scale", "0.25"])
+        db = make_engine(args)
+        stdin = io.StringIO(
+            "\\d\n"
+            "SELECT count(*) AS n\n"
+            "FROM nation;\n"
+            "\\explain SELECT r_name FROM region;\n"
+            "\\nonsense\n"
+            "SELECT broken;\n"
+            "\\q\n"
+        )
+        stdout = io.StringIO()
+        repl(db, stdin=stdin, stdout=stdout)
+        output = stdout.getvalue()
+        assert "region" in output  # \d listing
+        assert "25" in output  # nation count
+        assert "execution path" in output  # \explain
+        assert "unknown command" in output
+        assert "error:" in output  # broken SQL reported, REPL continues
+
+    def test_repl_runs_pending_statement_on_eof(self):
+        args = build_parser().parse_args(["--scale", "0.25"])
+        db = make_engine(args)
+        stdin = io.StringIO("SELECT count(*) AS n FROM region")
+        stdout = io.StringIO()
+        repl(db, stdin=stdin, stdout=stdout)
+        assert "1 rows" in stdout.getvalue()

@@ -1,0 +1,148 @@
+"""Tests for the cost model (Eqs. 1-9) and the optimizer choice."""
+
+import pytest
+
+from repro.core import (
+    NestGPU,
+    aggregate_cost_ns,
+    estimate_flat_plan_ns,
+    join_cost_ns,
+    predict_nested,
+    selection_cost_ns,
+    sort_cost_ns,
+)
+from repro.engine import EngineOptions
+from repro.gpu import DeviceSpec
+from repro.tpch import queries
+
+
+SPEC = DeviceSpec.v100()
+
+
+class TestAnalyticFormulas:
+    def test_selection_monotone_in_input(self):
+        small = selection_cost_ns(SPEC, 1_000, 1, 100, 16)
+        large = selection_cost_ns(SPEC, 10_000_000, 1, 100, 16)
+        assert large > small
+
+    def test_selection_monotone_in_output(self):
+        few = selection_cost_ns(SPEC, 10_000, 1, 10, 64)
+        many = selection_cost_ns(SPEC, 10_000, 1, 10_000, 64)
+        assert many > few
+
+    def test_selection_more_predicates_cost_more(self):
+        one = selection_cost_ns(SPEC, 10_000, 1, 100, 16)
+        three = selection_cost_ns(SPEC, 10_000, 3, 100, 16)
+        assert three > one
+
+    def test_empty_kernel_costs_launch_constant(self):
+        # the paper's C term: even an empty input pays kernel launches
+        cost = selection_cost_ns(SPEC, 0, 1, 0, 16)
+        assert cost >= 3 * SPEC.launch_overhead_ns
+
+    def test_join_build_hoisting_saves(self):
+        with_build = join_cost_ns(SPEC, 10**6, 100, 100, 16, 16, include_build=True)
+        without = join_cost_ns(SPEC, 10**6, 100, 100, 16, 16, include_build=False)
+        assert with_build > without
+
+    def test_join_materialization_two_sided(self):
+        narrow = join_cost_ns(SPEC, 100, 100, 10_000, 8, 8)
+        wide = join_cost_ns(SPEC, 100, 100, 10_000, 64, 64)
+        assert wide > narrow
+
+    def test_aggregate_log_work(self):
+        small = aggregate_cost_ns(SPEC, SPEC.threads, 1)
+        big = aggregate_cost_ns(SPEC, SPEC.threads * 64, 1)
+        assert big > small
+
+    def test_sort_cost_positive(self):
+        assert sort_cost_ns(SPEC, 1000, 16) > 0
+
+
+class TestFlatPlanEstimation:
+    def test_estimates_q2_unnested(self, tpch_small):
+        db = NestGPU(tpch_small)
+        prepared = db.prepare(queries.TPCH_Q2, mode="unnested")
+        estimate_ns = estimate_flat_plan_ns(tpch_small, SPEC, prepared.plan)
+        real = db.run_prepared(prepared)
+        ratio = estimate_ns / 1e6 / real.total_ms
+        # coarse cardinality heuristics: within an order of magnitude
+        assert 0.05 < ratio < 20
+
+    def test_larger_scale_estimates_larger(self, tpch_small):
+        from repro.tpch import generate_tpch
+
+        big = generate_tpch(4.0)
+        db_small = NestGPU(tpch_small)
+        db_big = NestGPU(big)
+        e_small = estimate_flat_plan_ns(
+            tpch_small, SPEC, db_small.prepare(queries.TPCH_Q2, mode="unnested").plan
+        )
+        e_big = estimate_flat_plan_ns(
+            big, SPEC, db_big.prepare(queries.TPCH_Q2, mode="unnested").plan
+        )
+        assert e_big > e_small
+
+
+class TestNestedPrediction:
+    @pytest.mark.parametrize("name", ["tpch_q2", "tpch_q17", "paper_q7"])
+    def test_prediction_accuracy(self, tpch_small, name):
+        """Figure 16: whole-query prediction error stays bounded
+        (the paper reports up to ~12.7%; islands + cardinality
+        estimation keep us within a comparable band)."""
+        db = NestGPU(tpch_small)
+        prepared = db.prepare(
+            queries.ALL_EVALUATION_QUERIES[name], mode="nested"
+        )
+        prediction = predict_nested(db, prepared)
+        real = db.run_prepared(prepared)
+        error = abs(prediction.total_ms - real.total_ms) / real.total_ms
+        assert error < 0.35
+
+    def test_prediction_breakdown_sums(self, tpch_small):
+        db = NestGPU(tpch_small)
+        prepared = db.prepare(queries.TPCH_Q2, mode="nested")
+        p = predict_nested(db, prepared)
+        assert p.total_ms == pytest.approx(
+            p.outer_ms + p.hoist_ms + p.loop_ms + p.upper_ms
+        )
+        assert p.iterations > 0
+
+    def test_cache_hits_counted(self, tpch_small):
+        db = NestGPU(
+            tpch_small, options=EngineOptions(use_vectorization=False)
+        )
+        prepared = db.prepare(queries.TPCH_Q17, mode="nested")
+        p = predict_nested(db, prepared)
+        # lineitem rows repeat p_partkey: Ch > 0
+        assert p.cache_hits > 0
+
+    def test_loop_prediction_without_vectorization(self, tpch_small):
+        db = NestGPU(
+            tpch_small, options=EngineOptions(use_vectorization=False)
+        )
+        prepared = db.prepare(queries.TPCH_Q2, mode="nested")
+        p = predict_nested(db, prepared)
+        real = db.run_prepared(prepared)
+        error = abs(p.total_ms - real.total_ms) / real.total_ms
+        assert error < 0.5
+
+
+class TestOptimizerChoice:
+    def test_small_outer_prefers_nested(self, tpch_small):
+        """Figure 12's regime: tiny outer table -> nested wins, and the
+        cost model tells the optimizer so."""
+        db = NestGPU(tpch_small)
+        result = db.execute(queries.PAPER_Q6)
+        assert result.plan_choice == "nested"
+
+    def test_choice_is_one_of_two(self, tpch_small):
+        db = NestGPU(tpch_small)
+        for name in ("tpch_q2", "tpch_q17", "tpch_q4"):
+            result = db.execute(queries.ALL_EVALUATION_QUERIES[name])
+            assert result.plan_choice in ("nested", "unnested")
+
+    def test_flat_query_choice(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT p_partkey FROM part WHERE p_size = 15")
+        assert result.plan_choice == "flat"

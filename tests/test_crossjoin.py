@@ -1,0 +1,135 @@
+"""Tests for Cartesian iteration (paper Figure 5, second case) and
+theta-joins that license a cross product."""
+
+import numpy as np
+import pytest
+
+from repro.core import NestGPU
+from repro.errors import PlanError
+from repro.plan.nodes import CrossJoin
+from repro.storage import Catalog, Table, int_type
+
+INT = int_type(4)
+
+
+def _catalog(seed=8, n_l=12, n_r=10, n_s=40):
+    rng = np.random.default_rng(seed)
+    l = Table.from_pydict(
+        "lft", [("l_col1", INT), ("l_col2", INT)],
+        {
+            "l_col1": rng.integers(0, 30, n_l),
+            "l_col2": rng.integers(0, 6, n_l),
+        },
+    )
+    r = Table.from_pydict(
+        "rgt", [("rg_col1", INT)], {"rg_col1": rng.integers(0, 6, n_r)}
+    )
+    s = Table.from_pydict(
+        "s", [("s_col1", INT), ("s_col2", INT), ("s_col3", INT)],
+        {
+            "s_col1": rng.integers(0, 6, n_s),
+            "s_col2": rng.integers(0, 30, n_s),
+            "s_col3": rng.integers(0, 6, n_s),
+        },
+    )
+    return Catalog([l, r, s])
+
+
+BOTH_SIDES_SQL = """
+SELECT l_col1, rg_col1 FROM lft, rgt
+WHERE l_col1 = (
+  SELECT min(s_col2) FROM s WHERE s_col1 = l_col2 AND s_col3 = rg_col1)
+"""
+
+
+def _both_sides_oracle(catalog):
+    l = catalog.table("lft")
+    r = catalog.table("rgt")
+    s = catalog.table("s")
+    l1, l2 = l.column("l_col1").data, l.column("l_col2").data
+    s1 = s.column("s_col1").data
+    s2 = s.column("s_col2").data
+    s3 = s.column("s_col3").data
+    out = []
+    for a, b in zip(l1, l2):
+        for c in r.column("rg_col1").data:
+            values = s2[(s1 == b) & (s3 == c)]
+            if len(values) and a == values.min():
+                out.append((int(a), int(c)))
+    return sorted(out)
+
+
+class TestBothSidesCorrelation:
+    def test_matches_oracle(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(BOTH_SIDES_SQL, mode="nested")
+        assert sorted(result.rows) == _both_sides_oracle(catalog)
+
+    def test_plan_contains_cross_join(self):
+        catalog = _catalog()
+        prepared = NestGPU(catalog).prepare(BOTH_SIDES_SQL, mode="nested")
+        assert [n for n in prepared.plan.walk() if isinstance(n, CrossJoin)]
+
+    def test_iteration_count_is_cartesian(self):
+        """Figure 5: the loop runs |LEFT| x |RIGHT| times (minus cache
+        dedup)."""
+        from repro.engine import EngineOptions
+
+        catalog = _catalog()
+        db = NestGPU(catalog, options=EngineOptions(
+            use_vectorization=False, use_cache=False
+        ))
+        result = db.execute(BOTH_SIDES_SQL, mode="nested")
+        n = catalog.table("lft").num_rows * catalog.table("rgt").num_rows
+        assert result.cache_misses == n
+
+    def test_cannot_unnest(self):
+        from repro.errors import UnnestingError
+
+        catalog = _catalog()
+        # two equality correlations targeting different outer tables is
+        # beyond the single-derived-table Kim rewrite we implement only
+        # when both pairs land in one join; here it requires the
+        # Cartesian outer, which auto mode handles via nested
+        result = NestGPU(catalog).execute(BOTH_SIDES_SQL)
+        assert result.plan_choice in ("nested", "unnested")
+        assert sorted(result.rows) == _both_sides_oracle(catalog)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_seeds(self, seed):
+        catalog = _catalog(seed=seed)
+        result = NestGPU(catalog).execute(BOTH_SIDES_SQL, mode="nested")
+        assert sorted(result.rows) == _both_sides_oracle(catalog)
+
+
+class TestThetaJoin:
+    def test_inequality_join_via_cross(self):
+        catalog = _catalog()
+        sql = "SELECT l_col2, rg_col1 FROM lft, rgt WHERE l_col2 > rg_col1"
+        result = NestGPU(catalog).execute(sql, mode="nested")
+        l2 = catalog.table("lft").column("l_col2").data
+        rg = catalog.table("rgt").column("rg_col1").data
+        expected = sorted(
+            (int(a), int(c)) for a in l2 for c in rg if a > c
+        )
+        assert sorted(result.rows) == expected
+
+    def test_unconstrained_cartesian_still_rejected(self):
+        catalog = _catalog()
+        with pytest.raises(PlanError):
+            NestGPU(catalog).prepare(
+                "SELECT l_col1 FROM lft, rgt", mode="nested"
+            )
+
+    def test_cross_join_operator_counts(self):
+        from repro.engine import ExecutionContext
+        from repro.engine import operators as ops
+        from repro.gpu import Device, DeviceSpec
+
+        catalog = _catalog()
+        ctx = ExecutionContext(catalog, Device(DeviceSpec.v100()))
+        left = ops.scan(ctx, "lft", "lft", [])
+        right = ops.scan(ctx, "rgt", "rgt", [])
+        out = ops.cross_join(ctx, left, right)
+        assert out.num_rows == left.num_rows * right.num_rows
+        assert "lft.l_col1" in out and "rgt.rg_col1" in out

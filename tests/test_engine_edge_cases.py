@@ -1,0 +1,164 @@
+"""Edge cases across the engine: strings, dates, empties, ordering."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.core import NestGPU
+from repro.engine import EngineOptions
+from repro.tpch import queries
+
+
+class TestStringSemantics:
+    def test_order_by_string_is_lexicographic(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT r_name FROM region ORDER BY r_name")
+        names = [row[0] for row in result.rows]
+        assert names == sorted(names)
+
+    def test_order_by_string_desc(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT n_name FROM nation ORDER BY n_name DESC")
+        names = [row[0] for row in result.rows]
+        assert names == sorted(names, reverse=True)
+
+    def test_string_range_comparison(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT r_name FROM region WHERE r_name > 'ASIA'")
+        expected = sorted(
+            name
+            for name in tpch_small.table("region").column("r_name").to_python()
+            if name > "ASIA"
+        )
+        assert sorted(row[0] for row in result.rows) == expected
+
+    def test_absent_string_range(self, tpch_small):
+        # 'B' is in no dictionary; ordering must still be correct
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT r_name FROM region WHERE r_name < 'B'")
+        expected = sorted(
+            name
+            for name in tpch_small.table("region").column("r_name").to_python()
+            if name < "B"
+        )
+        assert sorted(row[0] for row in result.rows) == expected
+
+    def test_absent_string_equality_is_empty(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT r_name FROM region WHERE r_name = 'NOWHERE'")
+        assert result.num_rows == 0
+
+    def test_not_like(self, tpch_small):
+        db = NestGPU(tpch_small)
+        like = db.execute(
+            "SELECT p_partkey FROM part WHERE p_type LIKE '%BRASS'"
+        ).num_rows
+        not_like = db.execute(
+            "SELECT p_partkey FROM part WHERE p_type NOT LIKE '%BRASS'"
+        ).num_rows
+        assert like + not_like == tpch_small.table("part").num_rows
+
+
+class TestDateSemantics:
+    def test_dates_decode(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute(
+            "SELECT o_orderdate FROM orders ORDER BY o_orderdate LIMIT 1"
+        )
+        assert isinstance(result.rows[0][0], datetime.date)
+
+    def test_between_dates(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute(
+            "SELECT count(*) AS n FROM orders WHERE o_orderdate "
+            "BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'"
+        )
+        from repro.storage import date_to_int
+
+        dates = tpch_small.table("orders").column("o_orderdate").data
+        expected = float(
+            (
+                (dates >= date_to_int("1995-01-01"))
+                & (dates <= date_to_int("1995-12-31"))
+            ).sum()
+        )
+        assert result.rows[0][0] == expected
+
+
+class TestEmptyInputs:
+    def test_empty_join_side(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute(
+            "SELECT p_partkey FROM part, partsupp "
+            "WHERE p_partkey = ps_partkey AND p_size = -5"
+        )
+        assert result.num_rows == 0
+
+    def test_empty_group_by(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute(
+            "SELECT p_size, count(*) AS n FROM part WHERE p_size = -5 "
+            "GROUP BY p_size"
+        )
+        assert result.num_rows == 0
+
+    def test_empty_sort_limit(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute(
+            "SELECT p_partkey FROM part WHERE p_size = -5 "
+            "ORDER BY p_partkey LIMIT 10"
+        )
+        assert result.num_rows == 0
+
+    def test_subquery_over_empty_outer(self, rst_catalog):
+        db = NestGPU(rst_catalog)
+        result = db.execute(
+            "SELECT r_col1 FROM r WHERE r_col1 > 9999 AND r_col2 = "
+            "(SELECT min(s_col2) FROM s WHERE s_col1 = r_col1)",
+            mode="nested",
+        )
+        assert result.num_rows == 0
+
+    def test_scalar_aggregate_over_empty_is_one_null_row(self, tpch_small):
+        db = NestGPU(tpch_small)
+        result = db.execute("SELECT min(p_size) AS m FROM part WHERE p_size = -5")
+        assert result.num_rows == 1
+        assert np.isnan(result.rows[0][0])
+
+
+class TestMiscellaneous:
+    def test_distinct_star_combination(self, rst_catalog):
+        db = NestGPU(rst_catalog)
+        result = db.execute("SELECT DISTINCT r_col1, r_col2 FROM r")
+        rows = rst_catalog.table("r").rows()
+        assert result.num_rows == len(set(rows))
+
+    def test_self_join_with_aliases(self, rst_catalog):
+        db = NestGPU(rst_catalog)
+        result = db.execute(
+            "SELECT a.s_col1 FROM s AS a, s AS b "
+            "WHERE a.s_col1 = b.s_col3 AND b.s_col2 > 40"
+        )
+        s = rst_catalog.table("s")
+        s1 = s.column("s_col1").data
+        s3 = s.column("s_col3").data
+        s2 = s.column("s_col2").data
+        expected = sum(
+            int((s1 == key).sum())
+            for key, big in zip(s3, s2 > 40)
+            if big
+        )
+        assert result.num_rows == expected
+
+    def test_large_limit_is_noop(self, rst_catalog):
+        db = NestGPU(rst_catalog)
+        result = db.execute("SELECT r_col1 FROM r LIMIT 100000")
+        assert result.num_rows == rst_catalog.table("r").num_rows
+
+    def test_repeat_execution_is_deterministic(self, tpch_small):
+        db = NestGPU(tpch_small)
+        a = db.execute(queries.TPCH_Q2, mode="nested")
+        b = db.execute(queries.TPCH_Q2, mode="nested")
+        assert a.rows == b.rows
+        assert a.total_ms == b.total_ms  # analytical clock: exact repeat

@@ -1,0 +1,202 @@
+"""Tests for the GPU relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineOptions, ExecutionContext, Relation
+from repro.engine import operators as ops
+from repro.gpu import Device, DeviceSpec
+from repro.plan.expressions import ColRef, Compare, Const
+from repro.plan.nodes import AggSpecNode
+
+
+@pytest.fixture()
+def ctx(rst_catalog):
+    return ExecutionContext(rst_catalog, Device(DeviceSpec.v100()))
+
+
+def col(binding, name):
+    return ColRef(binding, name, "int")
+
+
+class TestScan:
+    def test_plain_scan(self, ctx):
+        rel = ops.scan(ctx, "r", "r", [])
+        assert rel.num_rows == ctx.catalog.table("r").num_rows
+        assert "r.r_col1" in rel
+
+    def test_filtered_scan(self, ctx):
+        predicate = Compare(">", col("s", "s_col2"), Const(25))
+        rel = ops.scan(ctx, "s", "s", [predicate])
+        assert (rel.column("s.s_col2").data > 25).all()
+
+    def test_column_selection(self, ctx):
+        rel = ops.scan(ctx, "s", "s", [], columns=["s_col1"])
+        assert list(rel.columns) == ["s.s_col1"]
+
+    def test_scan_charges_transfer_once(self, ctx):
+        ops.scan(ctx, "r", "r", [])
+        first = ctx.device.stats.h2d_bytes
+        ops.scan(ctx, "r", "r", [])
+        assert ctx.device.stats.h2d_bytes == first  # resident now
+
+    def test_false_literal_filter_empties(self, ctx):
+        predicate = Compare("=", Const(1), Const(2))
+        rel = ops.scan(ctx, "r", "r", [predicate])
+        assert rel.num_rows == 0
+
+
+class TestFilterJoin:
+    def test_filter_rel(self, ctx):
+        rel = ops.scan(ctx, "s", "s", [])
+        out = ops.filter_rel(ctx, rel, Compare("=", col("s", "s_col1"), Const(3)))
+        assert (out.column("s.s_col1").data == 3).all()
+
+    def test_join_matches_oracle(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        s = ops.scan(ctx, "s", "s", [])
+        out = ops.join(ctx, r, s, col("r", "r_col1"), col("s", "s_col1"))
+        assert (
+            out.column("r.r_col1").data == out.column("s.s_col1").data
+        ).all()
+        expected = sum(
+            int((s.column("s.s_col1").data == k).sum())
+            for k in r.column("r.r_col1").data
+        )
+        assert out.num_rows == expected
+
+    def test_join_build_side_pins(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        s = ops.scan(ctx, "s", "s", [])
+        left = ops.join(ctx, r, s, col("r", "r_col1"), col("s", "s_col1"),
+                        build_side="left")
+        right = ops.join(ctx, r, s, col("r", "r_col1"), col("s", "s_col1"),
+                         build_side="right")
+        assert left.num_rows == right.num_rows
+
+    def test_semi_join(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        s = ops.scan(ctx, "s", "s", [])
+        out = ops.semi_join(ctx, r, s, col("r", "r_col1"), col("s", "s_col1"))
+        s_keys = set(s.column("s.s_col1").data.tolist())
+        assert all(k in s_keys for k in out.column("r.r_col1").data)
+
+    def test_anti_join(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        s = ops.scan(ctx, "s", "s", [])
+        semi = ops.semi_join(ctx, r, s, col("r", "r_col1"), col("s", "s_col1"))
+        anti = ops.semi_join(
+            ctx, r, s, col("r", "r_col1"), col("s", "s_col1"), negated=True
+        )
+        assert semi.num_rows + anti.num_rows == r.num_rows
+
+
+class TestAggregate:
+    def test_scalar_min(self, ctx):
+        s = ops.scan(ctx, "s", "s", [])
+        spec = AggSpecNode("min", col("s", "s_col2"), "__agg0")
+        out = ops.aggregate(ctx, s, [], [spec])
+        assert out.num_rows == 1
+        assert out.column("__agg0").data[0] == s.column("s.s_col2").data.min()
+
+    def test_scalar_empty_is_nan(self, ctx):
+        s = ops.scan(ctx, "s", "s", [Compare("=", col("s", "s_col1"), Const(-99))])
+        spec = AggSpecNode("min", col("s", "s_col2"), "__agg0")
+        out = ops.aggregate(ctx, s, [], [spec])
+        assert np.isnan(out.column("__agg0").data[0])
+
+    def test_scalar_count_empty_is_zero(self, ctx):
+        s = ops.scan(ctx, "s", "s", [Compare("=", col("s", "s_col1"), Const(-99))])
+        spec = AggSpecNode("count", None, "__agg0")
+        out = ops.aggregate(ctx, s, [], [spec])
+        assert out.column("__agg0").data[0] == 0.0
+
+    def test_grouped_sum(self, ctx):
+        s = ops.scan(ctx, "s", "s", [])
+        spec = AggSpecNode("sum", col("s", "s_col2"), "__agg0")
+        out = ops.aggregate(ctx, s, [col("s", "s_col1")], [spec])
+        data = s.column("s.s_col1").data
+        assert out.num_rows == len(np.unique(data))
+        # check one group against the oracle
+        key = int(out.column("s.s_col1").data[0])
+        expected = s.column("s.s_col2").data[data == key].sum()
+        assert out.column("__agg0").data[0] == pytest.approx(expected)
+
+    def test_grouped_count(self, ctx):
+        s = ops.scan(ctx, "s", "s", [])
+        spec = AggSpecNode("count", None, "__agg0")
+        out = ops.aggregate(ctx, s, [col("s", "s_col1")], [spec])
+        assert out.column("__agg0").data.sum() == s.num_rows
+
+    def test_having(self, ctx):
+        from repro.plan.expressions import AggRef
+
+        s = ops.scan(ctx, "s", "s", [])
+        spec = AggSpecNode("count", None, "__agg0")
+        having = Compare(">", AggRef("__agg0"), Const(10))
+        out = ops.aggregate(ctx, s, [col("s", "s_col1")], [spec], having)
+        assert (out.column("__agg0").data > 10).all()
+
+
+class TestProjectSortDistinct:
+    def test_project_rename(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        out = ops.project(ctx, r, [col("r", "r_col1")], ["k"])
+        assert list(out.columns) == ["k"]
+
+    def test_project_computed(self, ctx):
+        from repro.plan.expressions import Arith
+
+        r = ops.scan(ctx, "r", "r", [])
+        expr = Arith("*", col("r", "r_col1"), Const(2))
+        out = ops.project(ctx, r, [expr], ["x"])
+        assert (out.column("x").data == r.column("r.r_col1").data * 2).all()
+
+    def test_sort(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        out = ops.project(ctx, r, [col("r", "r_col1")], ["k"])
+        out = ops.sort(ctx, out, ["k"], [False])
+        data = out.column("k").data
+        assert (np.diff(data) >= 0).all()
+
+    def test_sort_descending(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        out = ops.project(ctx, r, [col("r", "r_col1")], ["k"])
+        out = ops.sort(ctx, out, ["k"], [True])
+        assert (np.diff(out.column("k").data) <= 0).all()
+
+    def test_distinct(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        out = ops.project(ctx, r, [col("r", "r_col1")], ["k"])
+        out = ops.distinct(ctx, out)
+        assert out.num_rows == len(np.unique(r.column("r.r_col1").data))
+
+    def test_limit(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        assert ops.limit(ctx, r, 3).num_rows == 3
+        assert ops.limit(ctx, r, 10**6).num_rows == r.num_rows
+
+    def test_fetch_charges_d2h(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        before = ctx.device.stats.d2h_bytes
+        ops.fetch_result(ctx, r)
+        assert ctx.device.stats.d2h_bytes == before + r.nbytes
+
+
+class TestRelation:
+    def test_merged_rejects_duplicates(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            r.merged(r)
+
+    def test_renamed_prefix(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        out = ops.project(ctx, r, [col("r", "r_col1")], ["k"])
+        prefixed = out.renamed_prefix("d")
+        assert "d.k" in prefixed
+
+    def test_row_bytes(self, ctx):
+        r = ops.scan(ctx, "r", "r", [])
+        assert r.row_bytes == 8  # two int4 columns

@@ -1,0 +1,151 @@
+"""Unit tests for expression evaluation over relations."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionContext
+from repro.engine import operators as ops
+from repro.engine.exprs import evaluate
+from repro.errors import ExecutionError
+from repro.gpu import Device, DeviceSpec
+from repro.plan.expressions import (
+    AggRef,
+    Arith,
+    BoolOp,
+    ColRef,
+    Compare,
+    Const,
+    InCodes,
+    NotOp,
+    ParamRef,
+    SubqueryRef,
+)
+
+
+@pytest.fixture()
+def ctx(rst_catalog):
+    return ExecutionContext(rst_catalog, Device(DeviceSpec.v100()))
+
+
+@pytest.fixture()
+def rel(ctx):
+    return ops.scan(ctx, "s", "s", [])
+
+
+def col(name):
+    return ColRef("s", name, "int")
+
+
+class TestLeaves:
+    def test_colref(self, ctx, rel):
+        data = evaluate(col("s_col1"), rel, ctx)
+        assert isinstance(data, np.ndarray) and len(data) == rel.num_rows
+
+    def test_const(self, ctx, rel):
+        assert evaluate(Const(7), rel, ctx) == 7
+
+    def test_param_from_env(self, ctx, rel):
+        value = evaluate(ParamRef("r.r_col1", "int"), rel, ctx, {"r.r_col1": 5})
+        assert value == 5
+
+    def test_unbound_param_raises(self, ctx, rel):
+        with pytest.raises(ExecutionError):
+            evaluate(ParamRef("r.r_col1", "int"), rel, ctx, {})
+
+    def test_subquery_ref_raises(self, ctx, rel):
+        with pytest.raises(ExecutionError):
+            evaluate(SubqueryRef(0, "scalar"), rel, ctx)
+
+    def test_aggref_column_lookup(self, ctx, rel):
+        from repro.engine.relation import Relation, computed_column
+
+        augmented = Relation(
+            {**rel.columns, "__agg0": computed_column("__agg0", np.ones(rel.num_rows))},
+            rel.num_rows,
+        )
+        data = evaluate(AggRef("__agg0"), augmented, ctx)
+        assert (data == 1.0).all()
+
+
+class TestComparisons:
+    def test_array_scalar(self, ctx, rel):
+        mask = evaluate(Compare(">", col("s_col2"), Const(25)), rel, ctx)
+        assert (mask == (rel.column("s.s_col2").data > 25)).all()
+
+    def test_scalar_array_mirrored(self, ctx, rel):
+        # 25 < col  ==  col > 25
+        left = evaluate(Compare("<", Const(25), col("s_col2")), rel, ctx)
+        right = evaluate(Compare(">", col("s_col2"), Const(25)), rel, ctx)
+        assert (left == right).all()
+
+    def test_array_array(self, ctx, rel):
+        mask = evaluate(Compare("=", col("s_col1"), col("s_col3")), rel, ctx)
+        expected = rel.column("s.s_col1").data == rel.column("s.s_col3").data
+        assert (mask == expected).all()
+
+    def test_scalar_scalar(self, ctx, rel):
+        assert evaluate(Compare("<", Const(1), Const(2)), rel, ctx) is True
+
+    def test_nan_scalar_comparisons_false(self, ctx, rel):
+        nan = Const(float("nan"))
+        for op in ("=", "<", ">", "<=", ">=", "!="):
+            assert evaluate(Compare(op, nan, Const(1)), rel, ctx) is False
+
+
+class TestBooleans:
+    def test_and_arrays(self, ctx, rel):
+        a = Compare(">", col("s_col2"), Const(10))
+        b = Compare("<", col("s_col2"), Const(40))
+        mask = evaluate(BoolOp("and", a, b), rel, ctx)
+        data = rel.column("s.s_col2").data
+        assert (mask == ((data > 10) & (data < 40))).all()
+
+    def test_or_scalar_short_circuit(self, ctx, rel):
+        a = Compare(">", col("s_col2"), Const(10))
+        true_const = Compare("=", Const(1), Const(1))
+        mask = evaluate(BoolOp("or", a, true_const), rel, ctx)
+        assert isinstance(mask, np.ndarray) and mask.all()
+
+    def test_and_scalar_false(self, ctx, rel):
+        a = Compare(">", col("s_col2"), Const(10))
+        false_const = Compare("=", Const(1), Const(2))
+        mask = evaluate(BoolOp("and", a, false_const), rel, ctx)
+        assert not mask.any()
+
+    def test_not(self, ctx, rel):
+        a = Compare(">", col("s_col2"), Const(10))
+        mask = evaluate(NotOp(a), rel, ctx)
+        assert (mask == ~(rel.column("s.s_col2").data > 10)).all()
+
+    def test_not_scalar(self, ctx, rel):
+        assert evaluate(NotOp(Compare("=", Const(1), Const(1))), rel, ctx) is False
+
+
+class TestArithmeticAndSets:
+    def test_column_arithmetic(self, ctx, rel):
+        data = evaluate(
+            Arith("*", col("s_col2"), Const(2)), rel, ctx
+        )
+        assert (data == rel.column("s.s_col2").data * 2).all()
+
+    def test_scalar_arithmetic(self, ctx, rel):
+        assert evaluate(Arith("/", Const(1), Const(4)), rel, ctx) == 0.25
+
+    def test_in_codes(self, ctx, rel):
+        mask = evaluate(InCodes(col("s_col1"), (1, 3)), rel, ctx)
+        data = rel.column("s.s_col1").data
+        assert (mask == np.isin(data, [1, 3])).all()
+
+    def test_in_codes_negated(self, ctx, rel):
+        positive = evaluate(InCodes(col("s_col1"), (1, 3)), rel, ctx)
+        negative = evaluate(InCodes(col("s_col1"), (1, 3), negated=True), rel, ctx)
+        assert (positive ^ negative).all()
+
+    def test_in_codes_scalar(self, ctx, rel):
+        assert evaluate(InCodes(Const(3), (1, 3)), rel, ctx) is True
+        assert evaluate(InCodes(Const(9), (1, 3)), rel, ctx) is False
+
+    def test_kernel_charges(self, ctx, rel):
+        before = ctx.device.stats.kernel_launches
+        evaluate(Compare(">", col("s_col2"), Const(1)), rel, ctx)
+        assert ctx.device.stats.kernel_launches == before + 1

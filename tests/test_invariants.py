@@ -1,0 +1,85 @@
+"""Tests for invariant component extraction (transient marking)."""
+
+import pytest
+
+from repro.plan import Binder, PlanBuilder, mark_invariants
+from repro.plan.nodes import Aggregate, Join, Scan
+from repro.sql import parse
+from repro.tpch import queries
+
+
+def inner_plan(catalog, sql):
+    block = Binder(catalog).bind(parse(sql))
+    builder = PlanBuilder(catalog)
+    builder.build(block)  # plans the outer; we want the subquery block
+    descriptor = block.subqueries[0]
+    return builder.build(descriptor.block)
+
+
+class TestMarking:
+    def test_correlated_scan_is_transient(self, rst_catalog):
+        plan = inner_plan(rst_catalog, queries.PAPER_Q1)
+        info = mark_invariants(plan)
+        scan = next(n for n in plan.walk() if isinstance(n, Scan))
+        assert info.is_transient(scan)
+
+    def test_transience_spreads_upward(self, rst_catalog):
+        plan = inner_plan(rst_catalog, queries.PAPER_Q1)
+        info = mark_invariants(plan)
+        assert info.is_transient(plan)  # root project
+
+    def test_q2_inner_has_invariant_join_tree(self, tpch_small):
+        plan = inner_plan(tpch_small, queries.TPCH_Q2)
+        info = mark_invariants(plan)
+        scans = {n.table: n for n in plan.walk() if isinstance(n, Scan)}
+        assert info.is_transient(scans["partsupp"])  # ps_partkey = $param
+        for name in ("supplier", "nation", "region"):
+            assert not info.is_transient(scans[name])
+
+    def test_q2_inner_hoisted_join(self, tpch_small):
+        plan = inner_plan(tpch_small, queries.TPCH_Q2)
+        info = mark_invariants(plan)
+        # the join of the transient partsupp scan with the invariant
+        # supplier/nation/region tree is hoistable
+        assert info.hoisted_joins
+
+    def test_invariant_roots_under_transient_parent(self, tpch_small):
+        plan = inner_plan(tpch_small, queries.TPCH_Q2)
+        info = mark_invariants(plan)
+        assert info.invariant_roots
+
+    def test_fully_invariant_plan(self, rst_catalog):
+        block = Binder(rst_catalog).bind(parse(
+            "SELECT r_col1 FROM r WHERE r_col2 = (SELECT min(s_col2) FROM s)"
+        ))
+        builder = PlanBuilder(rst_catalog)
+        plan = builder.build(block.subqueries[0].block)
+        info = mark_invariants(plan)
+        assert not info.is_transient(plan)
+        assert id(plan) in info.invariant_roots
+
+    def test_q17_inner(self, tpch_small):
+        plan = inner_plan(tpch_small, queries.TPCH_Q17)
+        info = mark_invariants(plan)
+        agg = next(n for n in plan.walk() if isinstance(n, Aggregate))
+        assert info.is_transient(agg)
+
+
+class TestRuntimeEffect:
+    def test_invariants_evaluated_once(self, tpch_small):
+        """With extraction on, the supplier/nation/region subtree of Q2's
+        inner block executes once, not once per iteration."""
+        from repro.core import NestGPU
+        from repro.engine import EngineOptions
+
+        options_on = EngineOptions(use_vectorization=False)
+        options_off = EngineOptions(
+            use_vectorization=False, use_invariant_extraction=False
+        )
+        db_on = NestGPU(tpch_small, options=options_on)
+        db_off = NestGPU(tpch_small, options=options_off)
+        r_on = db_on.execute(queries.TPCH_Q2, mode="nested")
+        r_off = db_off.execute(queries.TPCH_Q2, mode="nested")
+        assert sorted(map(repr, r_on.rows)) == sorted(map(repr, r_off.rows))
+        assert r_on.stats.kernel_launches < r_off.stats.kernel_launches
+        assert r_on.total_ms < r_off.total_ms

@@ -1,0 +1,252 @@
+"""Unit + property tests for the GPU primitive kernels.
+
+Every primitive is checked against a plain-numpy oracle; hypothesis
+drives the property cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import Device, DeviceSpec, kernels
+
+
+@pytest.fixture()
+def device():
+    return Device(DeviceSpec.v100())
+
+
+int_arrays = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=0, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+nonempty_int_arrays = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=200
+).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op,func", [
+        ("=", np.equal), ("!=", np.not_equal), ("<", np.less),
+        ("<=", np.less_equal), (">", np.greater), (">=", np.greater_equal),
+    ])
+    def test_scalar_ops(self, device, op, func):
+        data = np.array([1, 5, 3, 5, -2])
+        assert (kernels.compare_scalar(device, data, op, 3) == func(data, 3)).all()
+
+    def test_array_ops(self, device):
+        a = np.array([1, 2, 3])
+        b = np.array([3, 2, 1])
+        assert (kernels.compare_arrays(device, a, b, "<") == [True, False, False]).all()
+
+    def test_unknown_op(self, device):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            kernels.compare_scalar(device, np.array([1]), "~", 1)
+
+    def test_charges_launch(self, device):
+        kernels.compare_scalar(device, np.arange(10), "=", 5)
+        assert device.stats.kernel_launches == 1
+        assert device.stats.kernel_time_ns > 0
+
+
+class TestLogicalAndIsin:
+    def test_isin(self, device):
+        mask = kernels.isin(device, np.array([1, 2, 3, 4]), np.array([2, 4]))
+        assert (mask == [False, True, False, True]).all()
+
+    def test_logical(self, device):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert (kernels.logical_and(device, a, b) == [True, False, False]).all()
+        assert (kernels.logical_or(device, a, b) == [True, True, False]).all()
+        assert (kernels.logical_not(device, a) == [False, False, True]).all()
+
+    def test_arithmetic(self, device):
+        a = np.array([1.0, 2.0])
+        out = kernels.arithmetic(device, "*", a, 0.5, 2)
+        assert (out == [0.5, 1.0]).all()
+
+    def test_division_promotes(self, device):
+        out = kernels.arithmetic(device, "/", np.array([3]), 2, 1)
+        assert out.dtype == np.float64
+
+
+class TestPrefixSumCompact:
+    def test_prefix_sum(self, device):
+        mask = np.array([1, 0, 1, 1, 0])
+        positions, total = kernels.prefix_sum(device, mask)
+        assert total == 3
+        assert (positions == [0, 1, 1, 2, 3]).all()
+
+    def test_compact(self, device):
+        mask = np.array([False, True, False, True, True])
+        assert (kernels.compact(device, mask) == [1, 3, 4]).all()
+
+    def test_compact_empty(self, device):
+        assert len(kernels.compact(device, np.zeros(5, dtype=bool))) == 0
+
+    @given(mask=st.lists(st.booleans(), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_compact_matches_nonzero(self, mask):
+        device = Device(DeviceSpec.v100())
+        arr = np.asarray(mask, dtype=bool)
+        assert (kernels.compact(device, arr) == np.nonzero(arr)[0]).all()
+
+    def test_gather(self, device):
+        out = kernels.gather(device, np.array([10, 20, 30]), np.array([2, 0]))
+        assert (out == [30, 10]).all()
+
+
+class TestReductions:
+    def test_full_reductions(self, device):
+        v = np.array([3.0, 1.0, 2.0])
+        assert kernels.reduce_full(device, v, "min") == 1.0
+        assert kernels.reduce_full(device, v, "max") == 3.0
+        assert kernels.reduce_full(device, v, "sum") == 6.0
+        assert kernels.reduce_full(device, v, "avg") == 2.0
+        assert kernels.reduce_full(device, v, "count") == 3.0
+
+    def test_empty_reductions(self, device):
+        v = np.array([], dtype=np.float64)
+        assert kernels.reduce_full(device, v, "count") == 0.0
+        assert np.isnan(kernels.reduce_full(device, v, "avg"))
+
+    def test_segmented_min(self, device):
+        values = np.array([5.0, 1.0, 7.0, 2.0])
+        seg = np.array([0, 0, 2, 2])
+        out, counts = kernels.segmented_reduce(device, values, seg, 3, "min")
+        assert out[0] == 1.0 and out[2] == 2.0
+        assert counts[1] == 0  # empty segment
+
+    def test_segmented_avg_empty_is_nan(self, device):
+        out, counts = kernels.segmented_reduce(
+            device, np.array([4.0]), np.array([1]), 3, "avg"
+        )
+        assert np.isnan(out[0]) and out[1] == 4.0
+
+    def test_segmented_count(self, device):
+        out, _ = kernels.segmented_reduce(
+            device, None, np.array([0, 0, 1]), 3, "count"
+        )
+        assert (out == [2, 1, 0]).all()
+
+    def test_segmented_any(self, device):
+        flags = kernels.segmented_any(device, np.array([0, 0, 2]), 4)
+        assert (flags == [True, False, True, False]).all()
+
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        num_segments=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segmented_sum_matches_oracle(self, values, num_segments):
+        device = Device(DeviceSpec.v100())
+        arr = np.asarray(values)
+        seg = np.arange(len(arr)) % num_segments
+        out, _ = kernels.segmented_reduce(device, arr, seg, num_segments, "sum")
+        for s in range(num_segments):
+            expected = arr[seg == s].sum() if (seg == s).any() else 0.0
+            assert out[s] == pytest.approx(expected)
+
+
+class TestHashJoin:
+    def test_build_probe_unique_keys(self, device):
+        table = kernels.hash_build(device, np.array([10, 20, 30]))
+        probe_idx, build_idx = kernels.hash_probe(
+            device, table, np.array([20, 99, 10])
+        )
+        assert list(probe_idx) == [0, 2]
+        assert list(build_idx) == [1, 0]
+
+    def test_probe_with_duplicates(self, device):
+        table = kernels.hash_build(device, np.array([1, 2, 2, 3]))
+        probe_idx, build_idx = kernels.hash_probe(device, table, np.array([2]))
+        assert list(probe_idx) == [0, 0]
+        assert sorted(build_idx) == [1, 2]
+
+    def test_semi_probe(self, device):
+        table = kernels.hash_build(device, np.array([5, 7]))
+        mask = kernels.semi_probe(device, table, np.array([7, 8, 5, 5]))
+        assert (mask == [True, False, True, True]).all()
+
+    @given(build=int_arrays, probe=int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_join_matches_oracle(self, build, probe):
+        device = Device(DeviceSpec.v100())
+        table = kernels.hash_build(device, build)
+        probe_idx, build_idx = kernels.hash_probe(device, table, probe)
+        got = sorted(zip(probe_idx.tolist(), build_idx.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, p in enumerate(probe)
+            for j, b in enumerate(build)
+            if p == b
+        )
+        assert got == expected
+
+    @given(build=int_arrays, probe=int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_semi_matches_oracle(self, build, probe):
+        device = Device(DeviceSpec.v100())
+        table = kernels.hash_build(device, build)
+        mask = kernels.semi_probe(device, table, probe)
+        assert (mask == np.isin(probe, build)).all()
+
+
+class TestSortGroup:
+    def test_sort_single_key(self, device):
+        order = kernels.sort_order(device, [np.array([3, 1, 2])], [False])
+        assert list(order) == [1, 2, 0]
+
+    def test_sort_descending(self, device):
+        order = kernels.sort_order(device, [np.array([3, 1, 2])], [True])
+        assert list(order) == [0, 2, 1]
+
+    def test_sort_composite(self, device):
+        a = np.array([1, 1, 0])
+        b = np.array([2, 1, 9])
+        order = kernels.sort_order(device, [a, b], [False, False])
+        assert list(order) == [2, 1, 0]
+
+    def test_sort_mixed_direction(self, device):
+        a = np.array([1, 1, 0])
+        b = np.array([2, 1, 9])
+        order = kernels.sort_order(device, [a, b], [False, True])
+        assert list(order) == [2, 0, 1]
+
+    def test_group_ids(self, device):
+        keys = [np.array([5, 3, 5, 3, 5])]
+        gids, reps = kernels.group_ids(device, keys)
+        assert len(reps) == 2
+        assert gids[0] == gids[2] == gids[4]
+        assert gids[1] == gids[3]
+
+    def test_group_ids_composite(self, device):
+        a = np.array([1, 1, 2])
+        b = np.array([0, 1, 0])
+        gids, reps = kernels.group_ids(device, [a, b])
+        assert len(reps) == 3
+
+    def test_group_ids_empty(self, device):
+        gids, reps = kernels.group_ids(device, [np.array([], dtype=np.int64)])
+        assert len(gids) == 0 and len(reps) == 0
+
+    @given(keys=nonempty_int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_group_count_matches_unique(self, keys):
+        device = Device(DeviceSpec.v100())
+        gids, reps = kernels.group_ids(device, [keys])
+        assert len(reps) == len(np.unique(keys))
+
+
+class TestIndexSearch:
+    def test_ranges(self, device):
+        sorted_keys = np.array([1, 2, 2, 2, 5])
+        lo, hi = kernels.binary_search_ranges(
+            device, sorted_keys, np.array([2, 3, 5])
+        )
+        assert list(lo) == [1, 4, 4]
+        assert list(hi) == [4, 4, 5]

@@ -1,0 +1,77 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import tokenize
+from repro.sql.tokens import EOF, IDENT, KEYWORD, NUMBER, OPERATOR, PUNCT, STRING
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_lowercased(self):
+        assert values("SELECT FroM") == ["select", "from"]
+
+    def test_identifiers_lowercased(self):
+        assert values("R.Col1") == ["r", ".", "col1"]
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14 0.2")
+        assert [t.value for t in toks[:-1]] == ["42", "3.14", "0.2"]
+        assert all(t.kind == NUMBER for t in toks[:-1])
+
+    def test_string_literal(self):
+        toks = tokenize("'EUROPE'")
+        assert toks[0].kind == STRING
+        assert toks[0].value == "EUROPE"
+
+    def test_string_with_escaped_quote(self):
+        toks = tokenize("''''")
+        assert toks[0].value == "'"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert values("<= >= != = < > + - * /") == [
+            "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/",
+        ]
+
+    def test_ne_alias(self):
+        assert values("a <> b") == ["a", "!=", "b"]
+
+    def test_punctuation(self):
+        assert values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+    def test_line_comment_skipped(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+
+    def test_eof_token(self):
+        assert tokenize("x")[-1].kind == EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("a ? b")
+
+    def test_number_then_dot_punct(self):
+        # "7.0" is a number; "tbl.col" keeps the dot separate
+        assert values("7.0") == ["7.0"]
+        assert values("tbl.col") == ["tbl", ".", "col"]
+
+    def test_position_tracking(self):
+        toks = tokenize("ab cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 3
+
+    def test_underscore_identifier(self):
+        toks = tokenize("l_orderkey")
+        assert toks[0].kind == IDENT
+        assert toks[0].value == "l_orderkey"

@@ -1,0 +1,180 @@
+"""Queries with several subqueries: stacked conjuncts and OR-combined
+predicates over multiple SUBQ operands."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NestGPU
+from repro.storage import Catalog, Table, int_type
+
+INT = int_type(4)
+
+
+def _catalog(seed=11, n_r=30, n_s=50, n_t=40):
+    rng = np.random.default_rng(seed)
+    r = Table.from_pydict(
+        "r", [("r_col1", INT), ("r_col2", INT)],
+        {
+            "r_col1": rng.integers(0, 8, n_r),
+            "r_col2": rng.integers(0, 15, n_r),
+        },
+    )
+    s = Table.from_pydict(
+        "s", [("s_col1", INT), ("s_col2", INT)],
+        {
+            "s_col1": rng.integers(0, 8, n_s),
+            "s_col2": rng.integers(0, 15, n_s),
+        },
+    )
+    t = Table.from_pydict(
+        "t", [("t_col1", INT), ("t_col2", INT)],
+        {
+            "t_col1": rng.integers(0, 8, n_t),
+            "t_col2": rng.integers(0, 15, n_t),
+        },
+    )
+    return Catalog([r, s, t])
+
+
+def _per_key(table, key_col, val_col, key):
+    keys = table.column(key_col).data
+    return table.column(val_col).data[keys == key]
+
+
+class TestStackedConjuncts:
+    SQL = """
+        SELECT r_col1, r_col2 FROM r
+        WHERE r_col2 >= (SELECT min(s_col2) FROM s WHERE s_col1 = r_col1)
+          AND r_col2 <= (SELECT max(t_col2) FROM t WHERE t_col1 = r_col1)
+    """
+
+    def _oracle(self, catalog):
+        r = catalog.table("r")
+        out = []
+        for a, b in zip(r.column("r_col1").data, r.column("r_col2").data):
+            s_values = _per_key(catalog.table("s"), "s_col1", "s_col2", a)
+            t_values = _per_key(catalog.table("t"), "t_col1", "t_col2", a)
+            if len(s_values) == 0 or len(t_values) == 0:
+                continue
+            if s_values.min() <= b <= t_values.max():
+                out.append((int(a), int(b)))
+        return sorted(out)
+
+    def test_nested_matches_oracle(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="nested")
+        assert sorted(result.rows) == self._oracle(catalog)
+
+    def test_unnested_matches_oracle(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="unnested")
+        assert sorted(result.rows) == self._oracle(catalog)
+
+    def test_two_loops_in_source(self):
+        source = NestGPU(_catalog()).drive_source(self.SQL, mode="nested")
+        assert "sp0 = rt.subquery(0)" in source
+        assert "sp1 = rt.subquery(1)" in source
+        assert source.count("rt.apply_subquery_predicate") == 2
+
+    def test_plan_stacks_filters(self):
+        from repro.plan.nodes import SubqueryFilter
+
+        prepared = NestGPU(_catalog()).prepare(self.SQL, mode="nested")
+        filters = [
+            n for n in prepared.plan.walk() if isinstance(n, SubqueryFilter)
+        ]
+        assert len(filters) == 2
+
+
+class TestOrCombinedSubqueries:
+    SQL = """
+        SELECT r_col1, r_col2 FROM r
+        WHERE r_col2 = (SELECT min(s_col2) FROM s WHERE s_col1 = r_col1)
+           OR r_col2 = (SELECT max(t_col2) FROM t WHERE t_col1 = r_col1)
+    """
+
+    def _oracle(self, catalog):
+        r = catalog.table("r")
+        out = []
+        for a, b in zip(r.column("r_col1").data, r.column("r_col2").data):
+            s_values = _per_key(catalog.table("s"), "s_col1", "s_col2", a)
+            t_values = _per_key(catalog.table("t"), "t_col1", "t_col2", a)
+            first = len(s_values) > 0 and b == s_values.min()
+            second = len(t_values) > 0 and b == t_values.max()
+            if first or second:
+                out.append((int(a), int(b)))
+        return sorted(out)
+
+    def test_nested_matches_oracle(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="nested")
+        assert sorted(result.rows) == self._oracle(catalog)
+
+    def test_single_predicate_two_vectors(self):
+        from repro.plan.nodes import SubqueryFilter
+
+        prepared = NestGPU(_catalog()).prepare(self.SQL, mode="nested")
+        filters = [
+            n for n in prepared.plan.walk() if isinstance(n, SubqueryFilter)
+        ]
+        assert len(filters) == 1
+        assert len(filters[0].descriptors) == 2
+
+    def test_unnesting_refused_for_or(self):
+        from repro.errors import UnnestingError
+
+        with pytest.raises(UnnestingError):
+            NestGPU(_catalog()).execute(self.SQL, mode="unnested")
+
+    def test_auto_falls_back(self):
+        result = NestGPU(_catalog()).execute(self.SQL)
+        assert result.plan_choice == "nested"
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, seed):
+        catalog = _catalog(seed=seed, n_r=15, n_s=25, n_t=20)
+        result = NestGPU(catalog).execute(self.SQL, mode="nested")
+        assert sorted(result.rows) == self._oracle(catalog)
+
+
+class TestMixedKinds:
+    """An EXISTS and a scalar subquery on the same query."""
+
+    SQL = """
+        SELECT r_col1, r_col2 FROM r
+        WHERE EXISTS (SELECT * FROM s WHERE s_col1 = r_col1)
+          AND r_col2 > (SELECT avg(t_col2) FROM t WHERE t_col1 = r_col1)
+    """
+
+    def _oracle(self, catalog):
+        r = catalog.table("r")
+        out = []
+        for a, b in zip(r.column("r_col1").data, r.column("r_col2").data):
+            s_values = _per_key(catalog.table("s"), "s_col1", "s_col2", a)
+            t_values = _per_key(catalog.table("t"), "t_col1", "t_col2", a)
+            if len(s_values) and len(t_values) and b > t_values.mean():
+                out.append((int(a), int(b)))
+        return sorted(out)
+
+    def test_nested(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="nested")
+        assert sorted(result.rows) == self._oracle(catalog)
+
+    def test_unnested(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="unnested")
+        assert sorted(result.rows) == self._oracle(catalog)
+
+    def test_vectorized_and_loop_agree(self):
+        from repro.engine import EngineOptions
+
+        catalog = _catalog()
+        vec = NestGPU(catalog).execute(self.SQL, mode="nested")
+        loop = NestGPU(
+            catalog, options=EngineOptions(use_vectorization=False)
+        ).execute(self.SQL, mode="nested")
+        assert sorted(vec.rows) == sorted(loop.rows)

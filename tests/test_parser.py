@@ -1,0 +1,219 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import ast, parse
+from repro.tpch import queries
+
+
+class TestBasicSelect:
+    def test_simple(self):
+        stmt = parse("SELECT a FROM t")
+        assert len(stmt.items) == 1
+        assert isinstance(stmt.items[0].expr, ast.ColumnRef)
+        assert stmt.from_items[0].name == "t"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_multiple_items_and_aliases(self):
+        stmt = parse("SELECT a AS x, b y, c FROM t")
+        assert [i.alias for i in stmt.items] == ["x", "y", None]
+
+    def test_qualified_column(self):
+        stmt = parse("SELECT r.col1 FROM r")
+        ref = stmt.items[0].expr
+        assert ref.table == "r" and ref.name == "col1"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT a FROM very_long AS vl")
+        assert stmt.from_items[0].alias == "vl"
+
+    def test_multi_table_from(self):
+        stmt = parse("SELECT a FROM t1, t2, t3")
+        assert len(stmt.from_items) == 3
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_trailing_semicolon(self):
+        parse("SELECT a FROM t;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t extra nonsense ,")
+
+
+class TestClauses:
+    def test_where(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 AND b < 2")
+        conjuncts = ast.split_conjuncts(stmt.where)
+        assert len(conjuncts) == 2
+
+    def test_group_by(self):
+        stmt = parse("SELECT a, count(*) FROM t GROUP BY a")
+        assert len(stmt.group_by) == 1
+
+    def test_having(self):
+        stmt = parse("SELECT a FROM t GROUP BY a HAVING count(*) > 2")
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 100").limit == 100
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t LIMIT x")
+
+
+class TestExpressions:
+    def _where(self, cond):
+        return parse(f"SELECT a FROM t WHERE {cond}").where
+
+    def test_precedence_or_and(self):
+        expr = self._where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("a = 1 + 2 * 3")
+        add = expr.right
+        assert add.op == "+" and add.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self._where("a = (1 + 2) * 3")
+        assert expr.right.op == "*"
+
+    def test_unary_minus_folds_literal(self):
+        expr = self._where("a = -5")
+        assert isinstance(expr.right, ast.Literal) and expr.right.value == -5
+
+    def test_not(self):
+        expr = self._where("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "not"
+
+    def test_between(self):
+        expr = self._where("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.BetweenExpr)
+
+    def test_not_between(self):
+        expr = self._where("a NOT BETWEEN 1 AND 5")
+        assert expr.negated
+
+    def test_like(self):
+        expr = self._where("a LIKE '%BRASS'")
+        assert isinstance(expr, ast.LikeExpr)
+        assert expr.pattern == "%BRASS"
+
+    def test_not_like(self):
+        assert self._where("a NOT LIKE 'x%'").negated
+
+    def test_in_list(self):
+        expr = self._where("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InExpr)
+        assert len(expr.values) == 3
+
+    def test_not_in_list(self):
+        assert self._where("a NOT IN (1)").negated
+
+    def test_date_literal(self):
+        expr = self._where("a >= DATE '1993-07-01'")
+        assert expr.right.kind == "date"
+
+    def test_string_literal(self):
+        expr = self._where("a = 'EUROPE'")
+        assert expr.right.kind == "string"
+
+    def test_comparison_chain_ops(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            expr = self._where(f"a {op} 1")
+            assert expr.op == op
+
+
+class TestAggregates:
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t")
+        f = stmt.items[0].expr
+        assert isinstance(f, ast.FuncCall) and f.star
+
+    def test_aggregate_with_arg(self):
+        stmt = parse("SELECT min(a), max(b), sum(c), avg(d) FROM t")
+        assert [i.expr.name for i in stmt.items] == ["min", "max", "sum", "avg"]
+
+    def test_aggregate_in_arithmetic(self):
+        stmt = parse("SELECT 0.2 * avg(a) FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "*" and isinstance(expr.right, ast.FuncCall)
+
+    def test_unknown_function(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sqrt(a) FROM t")
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT count(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE a = (SELECT min(b) FROM s WHERE s.k = t.k)"
+        )
+        assert isinstance(stmt.where.right, ast.SubqueryExpr)
+
+    def test_exists(self):
+        stmt = parse("SELECT a FROM t WHERE EXISTS (SELECT * FROM s)")
+        assert isinstance(stmt.where, ast.ExistsExpr)
+
+    def test_not_exists(self):
+        stmt = parse("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM s)")
+        assert isinstance(stmt.where, ast.UnaryOp)
+
+    def test_in_subquery(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (SELECT b FROM s)")
+        assert stmt.where.query is not None
+
+    def test_derived_table(self):
+        stmt = parse(
+            "SELECT a FROM (SELECT b AS a FROM s) AS d WHERE a > 1"
+        )
+        assert isinstance(stmt.from_items[0], ast.DerivedTable)
+        assert stmt.from_items[0].alias == "d"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM (SELECT b FROM s)")
+
+    def test_nested_subquery_two_levels(self):
+        stmt = parse(
+            """
+            SELECT a FROM t WHERE a = (
+              SELECT min(b) FROM s WHERE b = (
+                SELECT max(c) FROM u WHERE u.k = s.k))
+            """
+        )
+        inner = stmt.where.right.query
+        assert isinstance(inner.where.right, ast.SubqueryExpr)
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("name", sorted(queries.ALL_EVALUATION_QUERIES))
+    def test_parses(self, name):
+        parse(queries.ALL_EVALUATION_QUERIES[name])
+
+    def test_q1_q2_q3(self):
+        parse(queries.PAPER_Q1)
+        parse(queries.PAPER_Q2_UNNESTED)
+        parse(queries.PAPER_Q3)
+
+    def test_q2_shape(self):
+        stmt = parse(queries.TPCH_Q2)
+        assert stmt.limit == 100
+        assert len(stmt.order_by) == 4
+        assert len(stmt.from_items) == 5

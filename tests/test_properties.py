@@ -1,0 +1,191 @@
+"""Property-based tests: nested == unnested == brute force, under
+randomized data, correlation operators, aggregates, and option sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NestGPU
+from repro.engine import EngineOptions
+from repro.errors import UnnestingError
+from repro.storage import Catalog, Table, int_type
+
+INT = int_type(4)
+
+
+def _catalog(r_rows, s_rows, key_space, value_space, seed):
+    rng = np.random.default_rng(seed)
+    r = Table.from_pydict(
+        "r", [("r_col1", INT), ("r_col2", INT)],
+        {
+            "r_col1": rng.integers(0, key_space, size=r_rows),
+            "r_col2": rng.integers(0, value_space, size=r_rows),
+        },
+    )
+    s = Table.from_pydict(
+        "s", [("s_col1", INT), ("s_col2", INT)],
+        {
+            "s_col1": rng.integers(0, key_space, size=s_rows),
+            "s_col2": rng.integers(0, value_space, size=s_rows),
+        },
+    )
+    return Catalog([r, s])
+
+
+def _oracle(catalog, agg, outer_op, corr_op):
+    """Brute-force evaluation of the generated correlated query."""
+    r = catalog.table("r")
+    s = catalog.table("s")
+    r1, r2 = r.column("r_col1").data, r.column("r_col2").data
+    s1, s2 = s.column("s_col1").data, s.column("s_col2").data
+    compare = {
+        "=": lambda a, b: a == b, "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+    }
+    out = []
+    for a, b in zip(r1, r2):
+        mask = compare[corr_op](s1, a)
+        values = s2[mask]
+        if agg == "count":
+            sub = float(len(values))
+        elif len(values) == 0:
+            continue  # NULL: predicate is unknown -> excluded
+        elif agg == "min":
+            sub = float(values.min())
+        elif agg == "max":
+            sub = float(values.max())
+        elif agg == "sum":
+            sub = float(values.sum())
+        else:
+            sub = float(values.mean())
+        if compare[outer_op](b, sub):
+            out.append((int(a), int(b)))
+    return sorted(out)
+
+
+def _sql(agg, outer_op, corr_op):
+    return (
+        f"SELECT r_col1, r_col2 FROM r WHERE r_col2 {outer_op} ("
+        f"SELECT {agg}(s_col2) FROM s WHERE s_col1 {corr_op} r_col1)"
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    agg=st.sampled_from(["min", "max", "sum", "avg", "count"]),
+    outer_op=st.sampled_from(["=", "<", ">", "<=", ">=", "!="]),
+    corr_op=st.sampled_from(["=", "<", ">", "!="]),
+    r_rows=st.integers(1, 30),
+    s_rows=st.integers(0, 60),
+)
+@settings(max_examples=60, deadline=None)
+def test_nested_matches_oracle(seed, agg, outer_op, corr_op, r_rows, s_rows):
+    catalog = _catalog(r_rows, max(s_rows, 1), 8, 12, seed)
+    db = NestGPU(catalog)
+    result = db.execute(_sql(agg, outer_op, corr_op), mode="nested")
+    assert sorted(result.rows) == _oracle(catalog, agg, outer_op, corr_op)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    agg=st.sampled_from(["min", "max", "sum", "avg"]),
+    outer_op=st.sampled_from(["=", "<", ">"]),
+    r_rows=st.integers(1, 30),
+    s_rows=st.integers(1, 60),
+)
+@settings(max_examples=40, deadline=None)
+def test_unnested_matches_nested(seed, agg, outer_op, r_rows, s_rows):
+    catalog = _catalog(r_rows, s_rows, 8, 12, seed)
+    db = NestGPU(catalog)
+    sql = _sql(agg, outer_op, "=")
+    nested = db.execute(sql, mode="nested")
+    unnested = db.execute(sql, mode="unnested")
+    assert sorted(nested.rows) == sorted(unnested.rows)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    batch=st.sampled_from([1, 2, 7, 64, 4096]),
+)
+@settings(max_examples=25, deadline=None)
+def test_vector_batch_size_never_changes_results(seed, batch):
+    catalog = _catalog(25, 80, 6, 10, seed)
+    sql = _sql("min", "=", "=")
+    reference = NestGPU(
+        catalog, options=EngineOptions(use_vectorization=False)
+    ).execute(sql, mode="nested")
+    batched = NestGPU(
+        catalog, options=EngineOptions(vector_batch=batch)
+    ).execute(sql, mode="nested")
+    assert sorted(batched.rows) == sorted(reference.rows)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    flags=st.lists(st.booleans(), min_size=5, max_size=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_option_combinations_never_change_results(seed, flags):
+    pools, index, cache, vectorize, invariants = flags
+    catalog = _catalog(20, 60, 5, 10, seed)
+    sql = _sql("avg", ">", "=")
+    options = EngineOptions(
+        use_memory_pools=pools,
+        use_index=index,
+        use_cache=cache,
+        use_vectorization=vectorize,
+        use_invariant_extraction=invariants,
+        index_min_iterations=1,
+    )
+    reference = NestGPU(catalog).execute(sql, mode="nested")
+    subject = NestGPU(catalog, options=options).execute(sql, mode="nested")
+    assert sorted(subject.rows) == sorted(reference.rows)
+
+
+@given(seed=st.integers(0, 10_000), corr_op=st.sampled_from(["<", ">", "!="]))
+@settings(max_examples=20, deadline=None)
+def test_non_equality_correlation_refuses_unnesting(seed, corr_op):
+    catalog = _catalog(10, 20, 5, 8, seed)
+    db = NestGPU(catalog)
+    sql = _sql("min", "=", corr_op)
+    with pytest.raises(UnnestingError):
+        db.execute(sql, mode="unnested")
+    # auto mode silently falls back to nested
+    assert db.execute(sql).plan_choice == "nested"
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_exists_matches_in(seed):
+    """EXISTS with equality correlation == IN over the same column."""
+    catalog = _catalog(20, 50, 6, 10, seed)
+    db = NestGPU(catalog)
+    exists_sql = (
+        "SELECT r_col1 FROM r WHERE EXISTS "
+        "(SELECT * FROM s WHERE s_col1 = r_col1)"
+    )
+    in_sql = "SELECT r_col1 FROM r WHERE r_col1 IN (SELECT s_col1 FROM s)"
+    assert sorted(db.execute(exists_sql, mode="nested").rows) == sorted(
+        db.execute(in_sql, mode="nested").rows
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_pool_marks_leave_no_leak(seed):
+    """After a nested run, pool restore discipline holds: the
+    intermediate pool tail returns to its pre-loop position for every
+    iteration, so peak memory is bounded by a single iteration."""
+    from repro.engine import ExecutionContext
+    from repro.gpu import Device, DeviceSpec
+
+    catalog = _catalog(30, 100, 6, 10, seed)
+    db = NestGPU(catalog, options=EngineOptions(use_vectorization=False))
+    prepared = db.prepare(_sql("min", "=", "="), mode="nested")
+    result = db.run_prepared(prepared)
+    baseline = db.run_prepared(prepared)
+    # two identical runs peak identically: no cross-run state
+    assert result.stats.peak_device_bytes == baseline.stats.peak_device_bytes

@@ -1,0 +1,219 @@
+"""Tests for quantified comparisons (ANY/SOME/ALL) and the Dayal
+count-unnesting extension.
+
+The nested method executes quantified subqueries by lowering them onto
+min/max/count scalar subqueries (several SUBQ operands in one
+predicate); empty-set semantics — ANY over nothing is false, ALL over
+nothing is true — must hold exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NestGPU
+from repro.errors import UnnestingError
+from repro.storage import Catalog, Table, int_type
+
+INT = int_type(4)
+
+_COMPARE = {
+    "=": lambda x, y: x == y,
+    "!=": lambda x, y: x != y,
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+}
+
+
+def _catalog(seed=3, n_r=40, n_s=60, keys=12, s_keys=8):
+    rng = np.random.default_rng(seed)
+    r = Table.from_pydict(
+        "r", [("r_col1", INT), ("r_col2", INT)],
+        {
+            "r_col1": rng.integers(0, keys, n_r),
+            "r_col2": rng.integers(0, 8, n_r),
+        },
+    )
+    s = Table.from_pydict(
+        "s", [("s_col1", INT), ("s_col2", INT)],
+        {
+            "s_col1": rng.integers(0, s_keys, n_s),
+            "s_col2": rng.integers(0, 20, n_s),
+        },
+    )
+    return Catalog([r, s])
+
+
+def _oracle(catalog, op, quantifier):
+    r = catalog.table("r")
+    s = catalog.table("s")
+    r1, r2 = r.column("r_col1").data, r.column("r_col2").data
+    s1, s2 = s.column("s_col1").data, s.column("s_col2").data
+    compare = _COMPARE[op]
+    reducer = any if quantifier in ("any", "some") else all
+    return sorted(
+        int(a)
+        for a, b in zip(r1, r2)
+        if reducer(compare(b, v) for v in s2[s1 == a])
+    )
+
+
+def _sql(op, quantifier):
+    return (
+        f"SELECT r_col1 FROM r WHERE r_col2 {op} {quantifier.upper()} "
+        "(SELECT s_col2 FROM s WHERE s_col1 = r_col1)"
+    )
+
+
+class TestQuantifiedCorrelated:
+    @pytest.mark.parametrize("op", sorted(_COMPARE))
+    @pytest.mark.parametrize("quantifier", ["any", "all"])
+    def test_matches_oracle(self, op, quantifier):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        result = db.execute(_sql(op, quantifier), mode="nested")
+        assert sorted(x[0] for x in result.rows) == _oracle(catalog, op, quantifier)
+
+    def test_some_is_any(self):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        any_rows = db.execute(_sql(">", "any"), mode="nested").rows
+        some_rows = db.execute(_sql(">", "some"), mode="nested").rows
+        assert sorted(any_rows) == sorted(some_rows)
+
+    def test_all_over_empty_is_true(self):
+        # r keys beyond s's key space have empty subquery results
+        catalog = _catalog(keys=12, s_keys=4)
+        db = NestGPU(catalog)
+        result = db.execute(_sql(">", "all"), mode="nested")
+        r = catalog.table("r")
+        s_keys = set(catalog.table("s").column("s_col1").data.tolist())
+        empties = [
+            int(a) for a in r.column("r_col1").data if a not in s_keys
+        ]
+        assert empties, "fixture must include empty-set rows"
+        got = [x[0] for x in result.rows]
+        for key in empties:
+            assert key in got
+
+    def test_any_over_empty_is_false(self):
+        catalog = _catalog(keys=12, s_keys=4)
+        db = NestGPU(catalog)
+        result = db.execute(_sql("<", "any"), mode="nested")
+        s_keys = set(catalog.table("s").column("s_col1").data.tolist())
+        for key in (x[0] for x in result.rows):
+            assert key in s_keys
+
+    def test_uncorrelated_quantified(self):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        result = db.execute(
+            "SELECT r_col1 FROM r WHERE r_col2 > ALL (SELECT s_col2 FROM s)",
+            mode="nested",
+        )
+        s_max = catalog.table("s").column("s_col2").data.max()
+        expected = sorted(
+            int(a)
+            for a, b in zip(
+                catalog.table("r").column("r_col1").data,
+                catalog.table("r").column("r_col2").data,
+            )
+            if b > s_max
+        )
+        assert sorted(x[0] for x in result.rows) == expected
+
+    @given(seed=st.integers(0, 5000), op=st.sampled_from(sorted(_COMPARE)),
+           quantifier=st.sampled_from(["any", "all"]))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, seed, op, quantifier):
+        catalog = _catalog(seed=seed, n_r=15, n_s=25)
+        db = NestGPU(catalog)
+        result = db.execute(_sql(op, quantifier), mode="nested")
+        assert sorted(x[0] for x in result.rows) == _oracle(
+            catalog, op, quantifier
+        )
+
+
+class TestDayalCount:
+    def _sql(self, op="="):
+        return (
+            f"SELECT r_col1, r_col2 FROM r WHERE r_col2 {op} "
+            "(SELECT count(*) FROM s WHERE s_col1 = r_col1)"
+        )
+
+    def _oracle(self, catalog, op):
+        r = catalog.table("r")
+        s1 = catalog.table("s").column("s_col1").data
+        return sorted(
+            (int(a), int(b))
+            for a, b in zip(r.column("r_col1").data, r.column("r_col2").data)
+            if _COMPARE[op](b, int((s1 == a).sum()))
+        )
+
+    @pytest.mark.parametrize("op", ["=", "<", ">", ">="])
+    def test_unnested_count_matches_oracle(self, op):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        result = db.execute(self._sql(op), mode="unnested")
+        assert sorted(result.rows) == self._oracle(catalog, op)
+
+    def test_zero_count_rows_included(self):
+        """The count bug: rows whose group is empty must see count 0."""
+        catalog = _catalog(keys=12, s_keys=4)
+        db = NestGPU(catalog)
+        sql = self._sql("=")
+        result = db.execute(sql, mode="unnested")
+        oracle = self._oracle(catalog, "=")
+        zero_rows = [row for row in oracle if row[1] == 0]
+        assert zero_rows, "fixture must exercise the count-0 case"
+        assert sorted(result.rows) == oracle
+
+    def test_nested_and_unnested_agree(self):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        sql = self._sql("=")
+        nested = db.execute(sql, mode="nested")
+        unnested = db.execute(sql, mode="unnested")
+        assert sorted(nested.rows) == sorted(unnested.rows)
+
+    def test_plan_uses_left_lookup(self):
+        from repro.plan.nodes import LeftLookup
+
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        prepared = db.prepare(self._sql("="), mode="unnested")
+        assert [n for n in prepared.plan.walk() if isinstance(n, LeftLookup)]
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_count_nested_equals_unnested(self, seed):
+        catalog = _catalog(seed=seed, n_r=20, n_s=30)
+        db = NestGPU(catalog)
+        sql = self._sql("=")
+        assert sorted(db.execute(sql, mode="nested").rows) == sorted(
+            db.execute(sql, mode="unnested").rows
+        )
+
+
+class TestQuantifiedPlanning:
+    def test_quantified_not_unnestable(self):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        with pytest.raises(UnnestingError):
+            # > ALL lowers to a multi-subquery predicate: nested only
+            db.execute(_sql(">", "all"), mode="unnested")
+
+    def test_auto_falls_back_to_nested(self):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        result = db.execute(_sql(">", "all"))
+        assert result.plan_choice == "nested"
+
+    def test_drive_program_has_multiple_loops(self):
+        catalog = _catalog()
+        db = NestGPU(catalog)
+        source = db.drive_source(_sql(">", "all"), mode="nested")
+        assert "SUBQ #0" in source and "SUBQ #1" in source

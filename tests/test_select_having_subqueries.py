@@ -1,0 +1,210 @@
+"""Tests for subqueries in the SELECT list and in HAVING (paper §II-A:
+'a query can be nested in the SELECT, FROM, WHERE or HAVING clause')."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NestGPU
+from repro.errors import PlanError
+from repro.storage import Catalog, Table, int_type
+
+INT = int_type(4)
+
+
+def _catalog(seed=5, n_r=25, n_s=50, r_keys=10, s_keys=6):
+    rng = np.random.default_rng(seed)
+    r = Table.from_pydict(
+        "r", [("r_col1", INT), ("r_col2", INT)],
+        {
+            "r_col1": rng.integers(0, r_keys, n_r),
+            "r_col2": rng.integers(0, 8, n_r),
+        },
+    )
+    s = Table.from_pydict(
+        "s", [("s_col1", INT), ("s_col2", INT)],
+        {
+            "s_col1": rng.integers(0, s_keys, n_s),
+            "s_col2": rng.integers(0, 20, n_s),
+        },
+    )
+    return Catalog([r, s])
+
+
+def _canon(rows):
+    return sorted(
+        tuple("NULL" if isinstance(v, float) and math.isnan(v) else v for v in row)
+        for row in rows
+    )
+
+
+class TestSelectListSubqueries:
+    SQL = (
+        "SELECT r_col1, (SELECT min(s_col2) FROM s WHERE s_col1 = r_col1) AS m "
+        "FROM r"
+    )
+
+    def _oracle(self, catalog):
+        r1 = catalog.table("r").column("r_col1").data
+        s1 = catalog.table("s").column("s_col1").data
+        s2 = catalog.table("s").column("s_col2").data
+        out = []
+        for a in r1:
+            values = s2[s1 == a]
+            out.append((int(a), float(values.min()) if len(values) else float("nan")))
+        return out
+
+    def test_nested_matches_oracle(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="nested")
+        assert _canon(result.rows) == _canon(self._oracle(catalog))
+
+    def test_unnested_matches_oracle(self):
+        catalog = _catalog()
+        result = NestGPU(catalog).execute(self.SQL, mode="unnested")
+        assert _canon(result.rows) == _canon(self._oracle(catalog))
+
+    def test_null_rows_preserved(self):
+        # r keys outside s's key space must appear with NULL, not drop
+        catalog = _catalog(r_keys=10, s_keys=4)
+        result = NestGPU(catalog).execute(self.SQL, mode="nested")
+        r = catalog.table("r")
+        assert result.num_rows == r.num_rows
+        nulls = [b for _, b in result.rows if isinstance(b, float) and math.isnan(b)]
+        assert nulls
+
+    def test_count_in_select_list(self):
+        catalog = _catalog(r_keys=10, s_keys=4)
+        sql = (
+            "SELECT r_col1, (SELECT count(*) FROM s WHERE s_col1 = r_col1) AS c "
+            "FROM r"
+        )
+        db = NestGPU(catalog)
+        nested = db.execute(sql, mode="nested")
+        unnested = db.execute(sql, mode="unnested")
+        s1 = catalog.table("s").column("s_col1").data
+        expected = sorted(
+            (int(a), float((s1 == a).sum()))
+            for a in catalog.table("r").column("r_col1").data
+        )
+        assert sorted(nested.rows) == expected
+        assert sorted(unnested.rows) == expected
+        assert any(c == 0.0 for _, c in expected)  # Dayal zero case
+
+    def test_subquery_inside_arithmetic(self):
+        catalog = _catalog()
+        sql = (
+            "SELECT r_col1, 2 * (SELECT count(*) FROM s WHERE s_col1 = r_col1) AS c2 "
+            "FROM r"
+        )
+        result = NestGPU(catalog).execute(sql, mode="nested")
+        s1 = catalog.table("s").column("s_col1").data
+        expected = sorted(
+            (int(a), 2.0 * (s1 == a).sum())
+            for a in catalog.table("r").column("r_col1").data
+        )
+        assert sorted(result.rows) == expected
+
+    def test_uncorrelated_select_subquery(self):
+        catalog = _catalog()
+        sql = "SELECT r_col1, (SELECT max(s_col2) FROM s) AS mx FROM r"
+        db = NestGPU(catalog)
+        nested = db.execute(sql, mode="nested")
+        unnested = db.execute(sql, mode="unnested")
+        mx = float(catalog.table("s").column("s_col2").data.max())
+        assert all(b == mx for _, b in nested.rows)
+        assert sorted(nested.rows) == sorted(unnested.rows)
+
+    def test_exists_in_select_list_rejected(self):
+        catalog = _catalog()
+        with pytest.raises(PlanError):
+            NestGPU(catalog).execute(
+                "SELECT r_col1, EXISTS (SELECT * FROM s) FROM r", mode="nested"
+            )
+
+    def test_drive_program_appends_column(self):
+        catalog = _catalog()
+        source = NestGPU(catalog).drive_source(self.SQL, mode="nested")
+        assert "rt.append_subquery_column" in source
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_nested_equals_unnested(self, seed):
+        catalog = _catalog(seed=seed, n_r=15, n_s=30)
+        db = NestGPU(catalog)
+        nested = db.execute(self.SQL, mode="nested")
+        unnested = db.execute(self.SQL, mode="unnested")
+        assert _canon(nested.rows) == _canon(unnested.rows)
+
+
+class TestHavingSubqueries:
+    def test_uncorrelated(self):
+        catalog = _catalog()
+        sql = (
+            "SELECT s_col1, max(s_col2) AS mx FROM s GROUP BY s_col1 "
+            "HAVING max(s_col2) > (SELECT avg(s_col2) FROM s)"
+        )
+        result = NestGPU(catalog).execute(sql, mode="nested")
+        s1 = catalog.table("s").column("s_col1").data
+        s2 = catalog.table("s").column("s_col2").data
+        threshold = s2.mean()
+        expected = sorted(
+            (int(k), float(s2[s1 == k].max()))
+            for k in np.unique(s1)
+            if s2[s1 == k].max() > threshold
+        )
+        assert sorted(result.rows) == expected
+
+    def test_correlated_nested_equals_unnested(self):
+        catalog = _catalog()
+        sql = (
+            "SELECT s_col1, max(s_col2) AS mx FROM s GROUP BY s_col1 "
+            "HAVING max(s_col2) > (SELECT avg(r_col2) FROM r WHERE r_col1 = s_col1)"
+        )
+        db = NestGPU(catalog)
+        nested = db.execute(sql, mode="nested")
+        unnested = db.execute(sql, mode="unnested")
+        assert _canon(nested.rows) == _canon(unnested.rows)
+        assert nested.num_rows > 0
+
+    def test_having_subquery_plan_sits_above_aggregate(self):
+        from repro.plan.nodes import Aggregate, SubqueryFilter
+
+        catalog = _catalog()
+        sql = (
+            "SELECT s_col1 FROM s GROUP BY s_col1 "
+            "HAVING count(*) > (SELECT min(r_col2) FROM r WHERE r_col1 = s_col1)"
+        )
+        prepared = NestGPU(catalog).prepare(sql, mode="nested")
+        nodes = list(prepared.plan.walk())
+        filter_node = next(n for n in nodes if isinstance(n, SubqueryFilter))
+        below = list(filter_node.child.walk())
+        aggregate = next(n for n in nodes if isinstance(n, Aggregate))
+        assert aggregate in below
+
+    def test_mixed_having(self):
+        # plain HAVING conjunct stays on the aggregate; SUBQ one above
+        catalog = _catalog()
+        sql = (
+            "SELECT s_col1 FROM s GROUP BY s_col1 "
+            "HAVING count(*) > 2 AND max(s_col2) > "
+            "(SELECT avg(r_col2) FROM r WHERE r_col1 = s_col1)"
+        )
+        result = NestGPU(catalog).execute(sql, mode="nested")
+        s1 = catalog.table("s").column("s_col1").data
+        s2 = catalog.table("s").column("s_col2").data
+        r1 = catalog.table("r").column("r_col1").data
+        r2 = catalog.table("r").column("r_col2").data
+        expected = []
+        for k in np.unique(s1):
+            if (s1 == k).sum() <= 2:
+                continue
+            correlated = r2[r1 == k]
+            if len(correlated) == 0:
+                continue
+            if s2[s1 == k].max() > correlated.mean():
+                expected.append((int(k),))
+        assert sorted(result.rows) == sorted(expected)

@@ -1,0 +1,60 @@
+"""Tests for catalog persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.io import load_catalog, save_catalog
+from repro.tpch import generate_tpch
+
+
+class TestRoundTrip:
+    def test_tpch_roundtrip(self, tmp_path):
+        original = generate_tpch(0.25, use_cache=False)
+        save_catalog(original, tmp_path / "cat")
+        loaded = load_catalog(tmp_path / "cat")
+        assert sorted(loaded.table_names()) == sorted(original.table_names())
+        for name in original.table_names():
+            a, b = original.table(name), loaded.table(name)
+            assert a.num_rows == b.num_rows
+            assert a.column_names == b.column_names
+            for column in a.column_names:
+                assert (a.column(column).data == b.column(column).data).all()
+
+    def test_dictionaries_survive(self, tmp_path):
+        original = generate_tpch(0.25, use_cache=False)
+        save_catalog(original, tmp_path / "cat")
+        loaded = load_catalog(tmp_path / "cat")
+        assert (
+            loaded.table("region").column("r_name").to_python()
+            == original.table("region").column("r_name").to_python()
+        )
+
+    def test_types_survive(self, tmp_path):
+        original = generate_tpch(0.25, use_cache=False)
+        save_catalog(original, tmp_path / "cat")
+        loaded = load_catalog(tmp_path / "cat")
+        column = loaded.table("partsupp").column("ps_supplycost")
+        assert column.dtype.name == "decimal" and column.dtype.width == 8
+
+    def test_queries_run_on_loaded_catalog(self, tmp_path):
+        from repro.core import NestGPU
+        from repro.tpch import queries
+
+        original = generate_tpch(0.5, use_cache=False)
+        save_catalog(original, tmp_path / "cat")
+        loaded = load_catalog(tmp_path / "cat")
+        a = NestGPU(original).execute(queries.TPCH_Q4, mode="nested")
+        b = NestGPU(loaded).execute(queries.TPCH_Q4, mode="nested")
+        assert a.rows == b.rows
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_catalog(tmp_path)
+
+    def test_bad_version(self, tmp_path):
+        import json
+
+        (tmp_path / "catalog.json").write_text(json.dumps({"version": 99, "tables": []}))
+        with pytest.raises(ReproError):
+            load_catalog(tmp_path)

@@ -1,0 +1,84 @@
+"""Tests for subquery result vectors (scalar, exists, two-level)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExistsResultVector,
+    ScalarResultVector,
+    TwoLevelResultVector,
+)
+
+
+class TestScalarVector:
+    def test_store_and_validity(self):
+        v = ScalarResultVector(3)
+        v.store(0, 5.0, True)
+        v.store(1, float("nan"), False)
+        assert v.values[0] == 5.0
+        assert v.valid[0] and not v.valid[1] and not v.valid[2]
+
+    def test_store_rows(self):
+        v = ScalarResultVector(4)
+        v.store_rows(np.array([1, 3]), np.array([7.0, 9.0]), np.array([True, True]))
+        assert v.values[3] == 9.0 and v.valid[3]
+
+    def test_default_invalid(self):
+        v = ScalarResultVector(2)
+        assert not v.valid.any()
+        assert np.isnan(v.values).all()
+
+    def test_nbytes(self):
+        v = ScalarResultVector(10)
+        assert v.nbytes == 10 * 8 + 10
+
+
+class TestExistsVector:
+    def test_store(self):
+        v = ExistsResultVector(3)
+        v.store(1, True)
+        assert list(v.flags) == [False, True, False]
+
+    def test_store_rows(self):
+        v = ExistsResultVector(3)
+        v.store_rows(np.array([0, 2]), np.array([True, True]))
+        assert list(v.flags) == [True, False, True]
+
+
+class TestTwoLevelVector:
+    def test_lengths_and_values(self):
+        v = TwoLevelResultVector(3)
+        v.store(0, np.array([1.0, 2.0]))
+        v.store(2, np.array([9.0]))
+        v.freeze()
+        assert list(v.lengths) == [2, 0, 1]
+        assert list(v.values) == [1.0, 2.0, 9.0]
+
+    def test_contains(self):
+        v = TwoLevelResultVector(2)
+        v.store(0, np.array([4.0, 5.0]))
+        v.store(1, np.array([6.0]))
+        v.freeze()
+        assert v.contains(0, 5.0)
+        assert not v.contains(0, 6.0)
+        assert v.contains(1, 6.0)
+
+    def test_membership_vectorised(self):
+        v = TwoLevelResultVector(3)
+        v.store(0, np.array([1.0]))
+        v.store(1, np.array([2.0, 3.0]))
+        v.freeze()  # row 2 empty
+        probe = np.array([1.0, 9.0, 5.0])
+        assert list(v.membership(probe)) == [True, False, False]
+
+    def test_empty_vector(self):
+        v = TwoLevelResultVector(2)
+        v.freeze()
+        assert list(v.lengths) == [0, 0]
+        assert not v.membership(np.array([1.0, 2.0])).any()
+
+    def test_requires_freeze(self):
+        v = TwoLevelResultVector(1)
+        v.store(0, np.array([1.0]))
+        with pytest.raises(AssertionError):
+            v.contains(0, 1.0)

@@ -1,0 +1,143 @@
+"""Unit tests for tables, schemas, and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, ReproError
+from repro.storage import (
+    Catalog,
+    INT,
+    DECIMAL,
+    Schema,
+    Table,
+    column_from_values,
+    schema,
+)
+
+
+def _table(name="nums", n=5):
+    return Table.from_pydict(
+        name,
+        [("a", INT), ("b", DECIMAL)],
+        {"a": list(range(n)), "b": [float(i) * 1.5 for i in range(n)]},
+    )
+
+
+class TestSchema:
+    def test_names(self):
+        s = schema(("a", INT), ("b", DECIMAL))
+        assert s.names == ["a", "b"]
+
+    def test_index_of(self):
+        s = schema(("a", INT), ("b", DECIMAL))
+        assert s.index_of("b") == 1
+
+    def test_unknown_column(self):
+        s = schema(("a", INT))
+        with pytest.raises(CatalogError):
+            s.column("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            schema(("a", INT), ("a", INT))
+
+    def test_row_width(self):
+        assert schema(("a", INT), ("b", DECIMAL)).row_width() == 12
+
+    def test_contains(self):
+        assert "a" in schema(("a", INT))
+        assert "b" not in schema(("a", INT))
+
+
+class TestTable:
+    def test_shape(self):
+        t = _table(n=7)
+        assert t.num_rows == 7
+        assert t.num_columns == 2
+
+    def test_mismatched_lengths_rejected(self):
+        a = column_from_values("a", INT, [1, 2])
+        b = column_from_values("b", INT, [1])
+        with pytest.raises(ReproError):
+            Table("bad", [a, b])
+
+    def test_duplicate_columns_rejected(self):
+        a = column_from_values("a", INT, [1])
+        with pytest.raises(CatalogError):
+            Table("bad", [a, a])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ReproError):
+            Table("bad", [])
+
+    def test_column_lookup(self):
+        t = _table()
+        assert t.column("a").name == "a"
+        with pytest.raises(CatalogError):
+            t.column("zzz")
+
+    def test_select_columns(self):
+        t = _table()
+        sub = t.select_columns(["b"])
+        assert sub.column_names == ["b"]
+        assert sub.num_rows == t.num_rows
+
+    def test_take(self):
+        t = _table()
+        taken = t.take(np.array([4, 0]))
+        assert taken.column("a").to_python() == [4, 0]
+
+    def test_rows(self):
+        t = _table(n=2)
+        assert t.rows() == [(0, 0.0), (1, 1.5)]
+
+    def test_nbytes(self):
+        t = _table(n=10)
+        assert t.nbytes == 10 * (4 + 8)
+
+    def test_schema_roundtrip(self):
+        s = _table().schema()
+        assert s.names == ["a", "b"]
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        c = Catalog([_table("x")])
+        assert c.table("x").name == "x"
+        assert c.table("X").name == "x"  # case-insensitive
+
+    def test_duplicate_registration(self):
+        c = Catalog([_table("x")])
+        with pytest.raises(CatalogError):
+            c.register(_table("x"))
+
+    def test_replace(self):
+        c = Catalog([_table("x", n=3)])
+        c.replace(_table("x", n=9))
+        assert c.table("x").num_rows == 9
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog([]).table("nope")
+
+    def test_resolve_column_unique(self):
+        c = Catalog([_table("x")])
+        assert c.resolve_column("a") == "x"
+
+    def test_resolve_column_ambiguous(self):
+        c = Catalog([_table("x"), _table("y")])
+        with pytest.raises(CatalogError):
+            c.resolve_column("a")
+
+    def test_resolve_column_missing(self):
+        with pytest.raises(CatalogError):
+            Catalog([_table("x")]).resolve_column("zzz")
+
+    def test_iteration_and_len(self):
+        c = Catalog([_table("x"), _table("y")])
+        assert len(c) == 2
+        assert sorted(t.name for t in c) == ["x", "y"]
+
+    def test_total_bytes(self):
+        c = Catalog([_table("x", n=2), _table("y", n=3)])
+        assert c.total_bytes() == (2 + 3) * 12
