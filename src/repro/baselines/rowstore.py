@@ -279,10 +279,15 @@ class RowstoreContext:
         if isinstance(expr, Arith):
             left = self.evaluate(expr.left, row)
             right = self.evaluate(expr.right, row)
-            return {
-                "+": left + right, "-": left - right,
-                "*": left * right, "/": left / right,
-            }[expr.op]
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if right == 0:
+                return math.nan  # SQL NULL on division by zero
+            return left / right
         if isinstance(expr, SubqueryRef):
             # Figure 2: the subquery is simply called per tuple
             return self.subquery_pipelines[id(expr)].evaluate(row)

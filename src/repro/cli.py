@@ -5,6 +5,7 @@ Usage:
     python -m repro.cli --scale 5                 # REPL over TPC-H
     python -m repro.cli --scale 5 -q "SELECT ..." # one-shot query
     python -m repro.cli --mode nested --explain -q "..."
+    python -m repro.cli fuzz --seed 7 --iterations 50   # differential fuzz
 
 Inside the REPL, terminate statements with ``;``.  Meta-commands:
 ``\\d`` lists tables, ``\\explain <sql>`` shows the plan and the
@@ -147,6 +148,11 @@ def repl(db: NestGPU, stdin=None, stdout=None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "fuzz":
+        from .fuzz.runner import fuzz_main
+
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     db = make_engine(args)
     if args.query:

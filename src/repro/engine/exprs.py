@@ -11,6 +11,8 @@ this environment as it iterates.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..errors import ExecutionError
@@ -140,5 +142,5 @@ def _python_arith(op: str, left, right):
     if op == "*":
         return left * right
     if op == "/":
-        return left / right
+        return math.nan if right == 0 else left / right
     raise ExecutionError(f"unknown arithmetic operator {op!r}")

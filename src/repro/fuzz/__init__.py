@@ -1,0 +1,38 @@
+"""Differential query fuzzing for the NestGPU reproduction.
+
+* :mod:`.generator` — seeded random correlated SQL over TPC-H;
+* :mod:`.differential` — oracle / nested / unnested cross-checking
+  across the optimization config matrix;
+* :mod:`.shrinker` — delta-debugging failures to minimal reproducers;
+* :mod:`.runner` — campaign orchestration, artifacts, and the
+  ``repro fuzz`` CLI subcommand.
+"""
+
+from .differential import (
+    DifferentialRunner,
+    Outcome,
+    Report,
+    canon_rows,
+    config_matrix,
+    rows_match,
+)
+from .generator import FuzzQuery, QueryGenerator, generate_query
+from .runner import CampaignResult, fuzz_main, replay, run_campaign
+from .shrinker import shrink
+
+__all__ = [
+    "CampaignResult",
+    "DifferentialRunner",
+    "FuzzQuery",
+    "Outcome",
+    "QueryGenerator",
+    "Report",
+    "canon_rows",
+    "config_matrix",
+    "fuzz_main",
+    "generate_query",
+    "replay",
+    "rows_match",
+    "run_campaign",
+    "shrink",
+]

@@ -1,0 +1,290 @@
+"""Fuzz-campaign orchestration and the ``repro fuzz`` CLI.
+
+A campaign is: for each iteration, generate one query from
+``(seed, index)``, run it through the differential matrix, and — on a
+mismatch or engine error — optionally shrink it and write a replayable
+artifact directory::
+
+    <out>/case-<seed>-<index>/
+        query.sql     the original failing query
+        minimal.sql   the shrunk reproducer (with --shrink)
+        meta.json     seed, index, scale, matrix, failing configs
+
+Replaying: ``repro fuzz --replay <dir-or-.sql>`` re-runs the saved
+query through the same matrix (scale and matrix are read from
+``meta.json`` when present, overridable on the command line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..sql import parse, unparse
+from ..storage import Catalog
+from ..tpch import generate_tpch
+from .differential import DifferentialRunner, Report, config_matrix
+from .generator import FuzzQuery, generate_query
+from .shrinker import shrink
+
+DEFAULT_SCALE = 0.05
+
+
+@dataclass
+class CaseResult:
+    """The outcome of one fuzzed query."""
+
+    index: int
+    query: FuzzQuery
+    report: Report | None
+    generation_error: str | None = None
+    artifact_dir: Path | None = None
+    minimal_sql: str | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a fuzz run."""
+
+    seed: int
+    iterations: int
+    scale: float
+    matrix: str
+    cases: list[CaseResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [
+            c for c in self.cases
+            if c.generation_error is not None
+            or (c.report is not None and not c.report.ok)
+        ]
+
+    @property
+    def skipped_unnested(self) -> int:
+        return sum(
+            len(c.report.skipped) for c in self.cases if c.report is not None
+        )
+
+    def summary(self) -> str:
+        kinds: dict[str, int] = {}
+        for case in self.cases:
+            kind = case.query.features.get("kind", "?") if case.query else "?"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        kind_text = ", ".join(f"{k}:{v}" for k, v in sorted(kinds.items()))
+        return (
+            f"{len(self.cases)} queries ({kind_text}); "
+            f"{len(self.failures)} failing; "
+            f"{self.skipped_unnested} unnestable-skips; "
+            f"{self.elapsed_s:.1f}s"
+        )
+
+
+def run_campaign(
+    seed: int,
+    iterations: int,
+    scale: float = DEFAULT_SCALE,
+    matrix: str = "full",
+    do_shrink: bool = False,
+    out_dir: str | Path | None = None,
+    catalog: Catalog | None = None,
+    runner: DifferentialRunner | None = None,
+    log=None,
+) -> CampaignResult:
+    """Run ``iterations`` fuzzed queries; optionally shrink failures."""
+    started = time.monotonic()
+    catalog = catalog or generate_tpch(scale)
+    runner = runner or DifferentialRunner(catalog, config_matrix(matrix))
+    campaign = CampaignResult(seed, iterations, scale, matrix)
+    for index in range(iterations):
+        query = generate_query(catalog, seed, index)
+        try:
+            report = runner.run(query.sql)
+        except Exception as exc:  # oracle/binder rejection = generator bug
+            case = CaseResult(index, query, None,
+                              generation_error=f"{type(exc).__name__}: {exc}")
+            campaign.cases.append(case)
+            if log:
+                log(f"[{index}] generation error: {case.generation_error}\n    {query.sql}")
+            continue
+        case = CaseResult(index, query, report)
+        campaign.cases.append(case)
+        if report.ok:
+            if log:
+                log(f"[{index}] ok ({report.summary()}) {query.features}")
+            continue
+        if log:
+            first = (report.mismatches + report.errors)[0]
+            log(f"[{index}] FAIL {first.engine}/{first.config}: {first.detail}\n    {query.sql}")
+        if do_shrink:
+            case.minimal_sql = _shrink_case(query, runner)
+            if log and case.minimal_sql:
+                log(f"[{index}] shrunk to: {case.minimal_sql}")
+        if out_dir is not None:
+            case.artifact_dir = write_artifact(
+                Path(out_dir), campaign, case
+            )
+    campaign.elapsed_s = time.monotonic() - started
+    return campaign
+
+
+def _shrink_case(query: FuzzQuery, runner: DifferentialRunner) -> str:
+    def still_fails(stmt) -> bool:
+        report = runner.run(unparse(stmt))
+        return not report.ok
+
+    minimal = shrink(query.stmt, still_fails)
+    return unparse(minimal)
+
+
+def write_artifact(out_dir: Path, campaign: CampaignResult,
+                   case: CaseResult) -> Path:
+    """Persist a failing case as a replayable directory."""
+    directory = out_dir / f"case-{campaign.seed}-{case.index}"
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "query.sql").write_text(case.query.sql + "\n")
+    if case.minimal_sql:
+        (directory / "minimal.sql").write_text(case.minimal_sql + "\n")
+    failing = []
+    if case.report is not None:
+        failing = [
+            {"engine": o.engine, "config": o.config,
+             "status": o.status, "detail": o.detail}
+            for o in case.report.mismatches + case.report.errors
+        ]
+    meta = {
+        "seed": campaign.seed,
+        "index": case.index,
+        "scale": campaign.scale,
+        "matrix": campaign.matrix,
+        "features": case.query.features,
+        "generation_error": case.generation_error,
+        "failing": failing,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
+    return directory
+
+
+def replay(path: str | Path, scale: float | None = None,
+           matrix: str | None = None, log=None) -> Report:
+    """Re-run a saved reproducer (.sql file or artifact directory)."""
+    target = Path(path)
+    meta: dict = {}
+    if target.is_dir():
+        meta_path = target / "meta.json"
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+        sql_path = target / "minimal.sql"
+        if not sql_path.exists():
+            sql_path = target / "query.sql"
+    else:
+        sql_path = target
+        sibling = target.parent / "meta.json"
+        if sibling.exists():
+            meta = json.loads(sibling.read_text())
+    sql = sql_path.read_text().strip()
+    scale = scale if scale is not None else float(meta.get("scale", DEFAULT_SCALE))
+    matrix = matrix or meta.get("matrix", "full")
+    catalog = generate_tpch(scale)
+    runner = DifferentialRunner(catalog, config_matrix(matrix))
+    parse(sql)  # surface syntax problems as SqlError before executing
+    report = runner.run(sql)
+    if log:
+        verdict = "ok" if report.ok else "FAIL"
+        log(f"{verdict} ({report.summary()}) scale={scale} matrix={matrix}")
+        for outcome in report.mismatches + report.errors:
+            log(f"  {outcome.engine}/{outcome.config}: {outcome.detail}")
+    return report
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli fuzz",
+        description=(
+            "Differential fuzzing: random correlated SQL over micro-TPC-H, "
+            "cross-checked between the rowstore oracle, NestGPU nested, and "
+            "the unnested rewrite across an optimization config matrix."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--iterations", type=int, default=50, help="number of queries"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help=f"TPC-H micro scale factor (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--config-matrix", choices=("full", "minimal", "single"),
+        default=None, dest="matrix",
+        help="optimization configurations to sweep (default: full)",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug failing queries to minimal reproducers",
+    )
+    parser.add_argument(
+        "--out", default="fuzz-failures",
+        help="artifact directory for failing cases (default: fuzz-failures)",
+    )
+    parser.add_argument(
+        "--replay", metavar="PATH",
+        help="re-run a saved .sql reproducer or artifact directory and exit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="per-query progress"
+    )
+    return parser
+
+
+def fuzz_main(argv: list[str] | None = None, stdout=None) -> int:
+    stdout = stdout or sys.stdout
+    args = build_fuzz_parser().parse_args(argv)
+
+    def log(message: str) -> None:
+        print(message, file=stdout)
+
+    if args.replay:
+        try:
+            # None lets replay() fall back to the artifact's meta.json
+            report = replay(
+                args.replay, scale=args.scale, matrix=args.matrix, log=log
+            )
+        except FileNotFoundError as exc:
+            log(f"error: no reproducer at {exc.filename or args.replay}")
+            return 2
+        return 0 if report.ok else 1
+
+    campaign = run_campaign(
+        seed=args.seed,
+        iterations=args.iterations,
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+        matrix=args.matrix or "full",
+        do_shrink=args.shrink,
+        out_dir=args.out,
+        log=log if args.verbose else None,
+    )
+    log(f"fuzz: {campaign.summary()}")
+    if campaign.failures:
+        for case in campaign.failures:
+            detail = case.generation_error
+            if detail is None and case.report is not None:
+                bad = case.report.mismatches + case.report.errors
+                detail = "; ".join(
+                    f"{o.engine}/{o.config}: {o.detail}" for o in bad[:3]
+                )
+            log(f"  case {campaign.seed}-{case.index}: {detail}")
+            log(f"    sql: {case.query.sql}")
+            if case.minimal_sql:
+                log(f"    minimal: {case.minimal_sql}")
+        log(f"artifacts in {args.out}/")
+        return 1
+    return 0

@@ -74,7 +74,13 @@ def arithmetic(device: Device, op: str, left, right, size: int) -> np.ndarray:
     except KeyError:
         raise ExecutionError(f"unknown arithmetic operator {op!r}") from None
     device.launch("scan_arith", size)
-    return func(left, right).astype(np.float64) if op == "/" else func(left, right)
+    if op == "/":
+        lhs = np.asarray(left, dtype=np.float64)
+        rhs = np.asarray(right, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.divide(lhs, rhs)
+        return np.where(rhs == 0.0, np.nan, out)  # SQL NULL on x/0
+    return func(left, right)
 
 
 def logical_and(device: Device, left: np.ndarray, right: np.ndarray) -> np.ndarray:

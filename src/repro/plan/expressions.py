@@ -164,7 +164,11 @@ class InCodes(PlanExpr):
 
     @property
     def code_array(self) -> np.ndarray:
-        return np.asarray(self.codes, dtype=np.int64)
+        # Dictionary codes are ints, but the binder also lowers numeric
+        # IN-lists here — a fixed int64 dtype would truncate decimals.
+        if all(float(code).is_integer() for code in self.codes):
+            return np.asarray(self.codes, dtype=np.int64)
+        return np.asarray(self.codes, dtype=np.float64)
 
 
 @dataclass(frozen=True)

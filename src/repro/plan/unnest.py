@@ -89,6 +89,7 @@ def _unnest_scalar(builder, plan, conjunct, descriptor) -> Plan:
         raise UnnestingError(
             "only aggregate scalar subqueries are unnested (type-JA)"
         )
+    _check_rewritable(inner)
     pairs = _equality_correlations(inner)
     if any(spec.op == "count" for spec in inner.aggs):
         # Kim's method has the count bug (missing groups must count 0);
@@ -197,6 +198,7 @@ def rewrite_select_subquery(
                               descriptor=descriptor)
         node.inner_plan = builder.build(inner)
         return node
+    _check_rewritable(inner)
     pairs = _equality_correlations(inner)
     if len(pairs) != 1:
         raise UnnestingError(
@@ -285,6 +287,7 @@ def _unnest_exists(builder, plan, conjunct, descriptor) -> Plan:
     inner = descriptor.block
     if inner.is_aggregate:
         raise UnnestingError("aggregate EXISTS subqueries are unsupported")
+    _check_rewritable(inner)
     pairs = _equality_correlations(inner)
     if len(pairs) != 1:
         raise UnnestingError(
@@ -330,6 +333,31 @@ def _unnest_exists(builder, plan, conjunct, descriptor) -> Plan:
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+def _check_rewritable(inner: BoundBlock) -> None:
+    """Refuse shapes Kim's rewrite would mis-execute at runtime.
+
+    * A nested subquery may correlate with ``inner``'s own tables (it
+      re-runs per derived-table row), but not *past* them: after the
+      rewrite the outermost row no longer exists to supply the
+      parameter.
+    * DISTINCT aggregates would need grouped DISTINCT aggregation in
+      the derived table, which the execution engine does not support.
+    """
+    if any(spec.distinct for spec in inner.aggs):
+        raise UnnestingError(
+            "DISTINCT aggregates cannot be unnested (grouped DISTINCT "
+            "aggregation is unsupported) — use the nested method"
+        )
+    provided = {table.binding for table in inner.tables}
+    for descriptor in inner.subqueries:
+        for qual in descriptor.free_quals:
+            if qual.rsplit(".", 1)[0] not in provided:
+                raise UnnestingError(
+                    f"nested subquery correlates with {qual} beyond the "
+                    "immediate outer block — use the nested method"
+                )
 
 
 def _equality_correlations(block: BoundBlock) -> list[tuple[ColRef, str]]:

@@ -1,7 +1,8 @@
-"""SQL frontend: lexer, AST, parser."""
+"""SQL frontend: lexer, AST, parser, unparser."""
 
 from . import ast
 from .lexer import tokenize
 from .parser import Parser, parse
+from .unparse import unparse, unparse_expr
 
-__all__ = ["Parser", "ast", "parse", "tokenize"]
+__all__ = ["Parser", "ast", "parse", "tokenize", "unparse", "unparse_expr"]

@@ -1,0 +1,139 @@
+"""Render :mod:`repro.sql.ast` trees back into parseable SQL text.
+
+The fuzzer generates queries as AST values (well-typedness is easiest
+to enforce structurally) and needs the text form both to feed the
+engines through their public ``execute(sql)`` entry points and to save
+replayable ``.sql`` reproducer artifacts.  The renderer is exact: for
+every tree the generator can produce, ``parse(unparse(stmt))`` yields
+an equal tree (the round-trip property tested in
+``tests/test_fuzz_generator.py``).
+
+Two dialect caveats keep the property honest:
+
+* ``NOT EXISTS`` parses as ``UnaryOp('not', ExistsExpr)`` — the parser
+  never sets ``ExistsExpr.negated`` — so negation-by-flag renders to
+  the keyword form but does not round-trip to the identical tree.  The
+  generator therefore always uses the ``UnaryOp`` form.
+* Numbers render in plain fixed-point (the lexer takes no exponents);
+  decimal literals should be constructed from short decimal strings.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def unparse(stmt: ast.SelectStmt) -> str:
+    """Render a SELECT statement as a single-line SQL string."""
+    parts = ["SELECT "]
+    if stmt.distinct:
+        parts.append("DISTINCT ")
+    parts.append(", ".join(_select_item(item) for item in stmt.items))
+    parts.append(" FROM ")
+    parts.append(", ".join(_from_item(item) for item in stmt.from_items))
+    if stmt.where is not None:
+        parts.append(" WHERE " + unparse_expr(stmt.where))
+    if stmt.group_by:
+        parts.append(" GROUP BY " + ", ".join(unparse_expr(g) for g in stmt.group_by))
+    if stmt.having is not None:
+        parts.append(" HAVING " + unparse_expr(stmt.having))
+    if stmt.order_by:
+        parts.append(" ORDER BY " + ", ".join(_order_item(o) for o in stmt.order_by))
+    if stmt.limit is not None:
+        parts.append(f" LIMIT {stmt.limit}")
+    return "".join(parts)
+
+
+def _select_item(item: ast.SelectItem) -> str:
+    text = unparse_expr(item.expr)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.DerivedTable):
+        return f"({unparse(item.query)}) AS {item.alias}"
+    if item.alias:
+        return f"{item.name} AS {item.alias}"
+    return item.name
+
+
+def _order_item(item: ast.OrderItem) -> str:
+    text = unparse_expr(item.expr)
+    return f"{text} DESC" if item.descending else text
+
+
+def _string(value: str) -> str:
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _number(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    # fixed point only: the lexer takes no exponent notation
+    if value != value:  # NaN guard; should not occur in literals
+        raise ValueError("cannot render NaN literal")
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{value:.1f}"
+    text = repr(float(value))
+    if "e" in text or "E" in text:
+        text = f"{value:.10f}".rstrip("0")
+    return text
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    """Render one expression (parenthesised where structure demands)."""
+    if isinstance(expr, ast.Star):
+        return "*"
+    if isinstance(expr, ast.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, ast.Literal):
+        if expr.kind == "string":
+            return _string(expr.value)
+        if expr.kind == "date":
+            return f"DATE {_string(expr.value)}"
+        return _number(expr.value)
+    if isinstance(expr, ast.IntervalLiteral):
+        return f"INTERVAL '{expr.quantity}' {expr.unit}"
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        return f"({unparse_expr(expr.left)} {op} {unparse_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "not":
+            return f"NOT {unparse_expr(expr.operand)}"
+        return f"(- {unparse_expr(expr.operand)})"
+    if isinstance(expr, ast.FuncCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.SubqueryExpr):
+        return f"({unparse(expr.query)})"
+    if isinstance(expr, ast.ExistsExpr):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{keyword} ({unparse(expr.query)})"
+    if isinstance(expr, ast.InExpr):
+        middle = "NOT IN" if expr.negated else "IN"
+        if expr.query is not None:
+            target = unparse(expr.query)
+        else:
+            target = ", ".join(unparse_expr(v) for v in expr.values)
+        return f"{unparse_expr(expr.operand)} {middle} ({target})"
+    if isinstance(expr, ast.QuantifiedExpr):
+        return (
+            f"{unparse_expr(expr.operand)} {expr.op} "
+            f"{expr.quantifier.upper()} ({unparse(expr.query)})"
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        middle = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{unparse_expr(expr.operand)} {middle} "
+            f"{unparse_expr(expr.low)} AND {unparse_expr(expr.high)}"
+        )
+    if isinstance(expr, ast.LikeExpr):
+        middle = "NOT LIKE" if expr.negated else "LIKE"
+        return f"{unparse_expr(expr.operand)} {middle} {_string(expr.pattern)}"
+    raise TypeError(f"cannot unparse {expr!r}")
