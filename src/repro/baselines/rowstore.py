@@ -259,23 +259,41 @@ class RowstoreContext:
         if isinstance(expr, Compare):
             left = self.evaluate(expr.left, row)
             right = self.evaluate(expr.right, row)
-            if _is_nan(left) or _is_nan(right):
-                return False
+            if left is None or right is None or _is_nan(left) or _is_nan(right):
+                return None  # UNKNOWN — falsy, so WHERE drops the row
             return {
                 "=": left == right, "!=": left != right,
                 "<": left < right, "<=": left <= right,
                 ">": left > right, ">=": left >= right,
             }[expr.op]
         if isinstance(expr, BoolOp):
-            left = self.evaluate(expr.left, row)
+            # Kleene three-valued AND/OR; None is UNKNOWN.
+            left = _tvl(self.evaluate(expr.left, row))
             if expr.op == "and":
-                return bool(left) and bool(self.evaluate(expr.right, row))
-            return bool(left) or bool(self.evaluate(expr.right, row))
+                if left is False:
+                    return False
+                right = _tvl(self.evaluate(expr.right, row))
+                if right is False:
+                    return False
+                return None if (left is None or right is None) else True
+            if left is True:
+                return True
+            right = _tvl(self.evaluate(expr.right, row))
+            if right is True:
+                return True
+            return None if (left is None or right is None) else False
         if isinstance(expr, NotOp):
-            return not self.evaluate(expr.operand, row)
+            value = _tvl(self.evaluate(expr.operand, row))
+            return None if value is None else not value
         if isinstance(expr, InCodes):
-            member = self.evaluate(expr.operand, row) in expr.codes
-            return member != expr.negated
+            operand = self.evaluate(expr.operand, row)
+            if expr.codes and (operand is None or _is_nan(operand)):
+                return None  # NULL IN (non-empty list) is UNKNOWN
+            if operand in expr.codes:
+                return not expr.negated
+            if any(_is_nan(code) for code in expr.codes):
+                return None  # the NULL in the list might have matched
+            return expr.negated
         if isinstance(expr, Arith):
             left = self.evaluate(expr.left, row)
             right = self.evaluate(expr.right, row)
@@ -298,6 +316,11 @@ def _is_nan(value) -> bool:
     return isinstance(value, float) and math.isnan(value)
 
 
+def _tvl(value):
+    """Normalize an evaluated predicate to three-valued True/False/None."""
+    return None if value is None else bool(value)
+
+
 class SubqueryPipeline:
     """One correlated subquery, re-built and re-run per outer tuple."""
 
@@ -316,16 +339,31 @@ class SubqueryPipeline:
             found = iterator.get_next() is not None
             return found != descriptor.negated
         if descriptor.kind == "in":
+            # Three-valued membership: TRUE on a match, FALSE when the
+            # result set is empty, UNKNOWN (None) when there is no match
+            # but the probe is NULL or the set contains a NULL.
             operand = self.context.evaluate(descriptor.in_operand, outer_row)
             member = False
+            saw_null = False
+            empty = True
             while True:
                 row = iterator.get_next()
                 if row is None:
                     break
-                if next(iter(row.values())) == operand:
+                empty = False
+                value = next(iter(row.values()))
+                if _is_nan(value):
+                    saw_null = True
+                elif value == operand:
                     member = True
                     break
-            return member != descriptor.negated
+            if member:
+                return not descriptor.negated
+            if empty:
+                return descriptor.negated
+            if saw_null or _is_nan(operand):
+                return None
+            return descriptor.negated
         row = iterator.get_next()
         if row is None:
             return float("nan")

@@ -13,13 +13,23 @@ import numpy as np
 
 
 class SubqueryCache:
-    """Maps parameter tuples to subquery results (scalar or boolean)."""
+    """Maps parameter tuples to subquery results (scalar or boolean).
 
-    def __init__(self, enabled: bool = True):
+    ``namespace`` (the subquery's index within its query) is folded
+    into every key: two SUBQs correlated on the same outer column see
+    identical parameter tuples, and must never read each other's
+    entries — even if a cache instance is ever shared between them.
+    """
+
+    def __init__(self, enabled: bool = True, namespace: object = None):
         self.enabled = enabled
+        self.namespace = namespace
         self._entries: dict[tuple, tuple[float, bool]] = {}
         self.hits = 0
         self.misses = 0
+
+    def _key(self, key: tuple) -> tuple:
+        return (self.namespace,) + tuple(key)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -33,7 +43,7 @@ class SubqueryCache:
         if not self.enabled:
             self.misses += 1
             return None
-        entry = self._entries.get(key)
+        entry = self._entries.get(self._key(key))
         if entry is None:
             self.misses += 1
             return None
@@ -42,7 +52,7 @@ class SubqueryCache:
 
     def put(self, key: tuple, value: float, valid: bool) -> None:
         if self.enabled:
-            self._entries[key] = (value, valid)
+            self._entries[self._key(key)] = (value, valid)
 
     # -- batch interface for the vectorized path -------------------------
 
@@ -60,7 +70,7 @@ class SubqueryCache:
         if not self.enabled:
             return [], [], list(range(len(keys)))
         for row, key in enumerate(keys):
-            entry = self._entries.get(key)
+            entry = self._entries.get(self._key(key))
             if entry is None:
                 miss_rows.append(row)
                 self.misses += 1
@@ -76,4 +86,4 @@ class SubqueryCache:
         if not self.enabled:
             return
         for key, value, ok in zip(keys, values, valid):
-            self._entries[key] = (float(value), bool(ok))
+            self._entries[self._key(key)] = (float(value), bool(ok))

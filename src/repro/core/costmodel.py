@@ -36,12 +36,14 @@ from ..plan.nodes import (
     Distinct,
     Filter,
     Join,
+    LeftLookup,
     Limit,
     Plan,
     Project,
     Scan,
     SemiJoin,
     Sort,
+    SubqueryColumn,
     SubqueryFilter,
 )
 from .runtime import Runtime, SubqueryProgram
@@ -186,6 +188,26 @@ def estimate_flat_plan_ns(catalog, spec: DeviceSpec, plan: Plan) -> float:
             out = max(1.0, child.rows * 0.5)
             cost += out * child.row_bytes * spec.materialize_ns_per_byte
             return _Estimate(out, child.row_bytes, cost)
+        if isinstance(node, LeftLookup):
+            # outer-join lookup (SELECT-list / Dayal count unnesting):
+            # hash build over the inner, one probe per child row, every
+            # child row kept and widened by the value column
+            child = walk(node.child)
+            inner = walk(node.inner)
+            row_bytes = child.row_bytes + 8.0
+            cost = child.cost_ns + inner.cost_ns
+            cost += _kernel_ns(spec, inner.rows, 2.0)
+            cost += _kernel_ns(spec, child.rows, 2.0)
+            cost += child.rows * row_bytes * spec.materialize_ns_per_byte
+            return _Estimate(child.rows, row_bytes, cost)
+        if isinstance(node, SubqueryColumn):
+            # uncorrelated SELECT-list scalar: inner evaluated once,
+            # broadcast across every child row
+            child = walk(node.child)
+            inner_plan = getattr(node, "inner_plan", None)
+            inner_cost = walk(inner_plan).cost_ns if inner_plan is not None else 0.0
+            cost = child.cost_ns + inner_cost + _kernel_ns(spec, child.rows)
+            return _Estimate(child.rows, child.row_bytes + 8.0, cost)
         if isinstance(node, Filter):
             child = walk(node.child)
             out = max(1.0, child.rows * 0.3)
@@ -291,6 +313,17 @@ def predict_nested(system, prepared, probe_iterations: int = 4) -> NestedPredict
     ]
     if len(correlated) == 1 and len(correlated[0].descriptors) != 1:
         correlated = []  # quantified predicate: fall back to a full run
+    if len(correlated) == 1:
+        body = next(
+            (spec.plan for spec in prepared.program.specs
+             if spec.descriptor is correlated[0].descriptor), None)
+        if body is None or any(
+            isinstance(n, (SubqueryFilter, SubqueryColumn)) for n in body.walk()
+        ):
+            # depth-2 nesting: the island probe walks the body plan
+            # directly and cannot execute a nested SUBQ node — measure
+            # the whole execution instead
+            correlated = []
     if len(correlated) != 1:
         # flat query, or stacked subqueries: measure by running in full
         result = system.run_prepared(prepared)

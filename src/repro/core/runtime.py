@@ -9,17 +9,22 @@ memory-pool marks, and the per-node timing used by the cost model.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..errors import ExecutionError
 from ..engine import operators as ops
 from ..engine.evaluator import run_plan
-from ..engine.exprs import evaluate
+from ..engine.exprs import _MIRROR, _python_compare, evaluate
 from ..engine.relation import Relation, computed_column
 from ..gpu import kernels
 from ..plan.expressions import (
     AggRef,
+    BoolOp,
     ColRef,
+    Compare,
+    InCodes,
     NotOp,
     PlanExpr,
     SubqueryRef,
@@ -46,7 +51,9 @@ class SubqueryProgram:
         self.plan = plan
         self.info: InvariantInfo = mark_invariants(plan)
         self.param_quals: tuple[str, ...] = descriptor.free_quals
-        self.cache = SubqueryCache(enabled=ctx.options.use_cache)
+        self.cache = SubqueryCache(
+            enabled=ctx.options.use_cache, namespace=descriptor.index
+        )
         self.vectorized = (
             ctx.options.use_vectorization
             and descriptor.kind in ("scalar", "exists")
@@ -564,16 +571,17 @@ class Runtime:
 
         mapping: dict[int, AggRef] = {}
         columns = dict(outer.columns)
-        validity: dict[int, np.ndarray] = {}
+        known_cols: dict[str, np.ndarray] = {}
         by_index = {d.index: d for d in node.descriptors}
         for index, vector in vectors.items():
             marker = f"__subq{index}"
             if isinstance(vector, ScalarResultVector):
+                # NaN marks NULL; the three-valued Compare below reads
+                # knownness straight off the values, so no side channel.
                 data = vector.values
-                validity[index] = vector.valid
             elif isinstance(vector, ExistsResultVector):
                 data = vector.flags
-            else:  # TwoLevelResultVector: reduce to membership first
+            else:  # TwoLevelResultVector: reduce to 3VL membership first
                 descriptor = by_index[index]
                 vector.freeze()
                 operand = evaluate(descriptor.in_operand, outer, self.ctx, None)
@@ -581,49 +589,105 @@ class Runtime:
                     operand = np.full(outer.num_rows, operand, dtype=np.float64)
                 self.ctx.device.launch("in_membership", outer.num_rows, work=2.0)
                 membership = vector.membership(operand)
-                data = membership != descriptor.negated
+                # x IN S: TRUE on a match, FALSE when S is empty, and
+                # UNKNOWN when there is no match but x is NULL or S
+                # contains a NULL (the NULL *might* have been x).
+                empty = vector.lengths == 0
+                operand_null = _nan_mask(operand, outer.num_rows)
+                self.ctx.device.launch("null_scan", outer.num_rows)
+                unknown = ~membership & ~empty & (
+                    operand_null | vector.null_flags()
+                )
+                known = ~unknown
+                data = (membership != descriptor.negated) & known
+                known_cols[marker] = known
             columns[marker] = computed_column(marker, data)
             mapping[index] = AggRef(marker)
 
         augmented = Relation(columns, outer.num_rows)
         predicate = _replace_subquery_refs(node.predicate, mapping)
-        mask = evaluate(predicate, augmented, self.ctx, None)
-        if not isinstance(mask, np.ndarray):
-            mask = np.full(outer.num_rows, bool(mask))
-        # three-valued logic: a NaN (NULL) scalar already fails =, <, >
-        # comparisons; only != needs an explicit validity veto
-        for index, valid in validity.items():
-            if _under_not_equal(node.predicate, index):
-                mask = kernels.logical_and(self.ctx.device, mask, valid)
-        indices = kernels.compact(self.ctx.device, mask)
+        truth, _ = _eval_three_valued(predicate, augmented, self.ctx, known_cols)
+        indices = kernels.compact(self.ctx.device, truth)
         out = outer.take_no_charge(indices)
         ops._materialize(self.ctx, out)
         self.ctx.operator_done()
         return out
 
 
-def _under_not_equal(predicate: PlanExpr, index: int, negated: bool = False) -> bool:
-    """Whether NULL-as-NaN gives the wrong truth value for ``SUBQ(index)``.
+def _nan_mask(value, size: int) -> np.ndarray:
+    """Per-row NULL (NaN) flags for an evaluated operand."""
+    if isinstance(value, np.ndarray):
+        if np.issubdtype(value.dtype, np.floating):
+            return np.isnan(value)
+        return np.zeros(size, dtype=bool)
+    if isinstance(value, float) and math.isnan(value):
+        return np.ones(size, dtype=bool)
+    return np.zeros(size, dtype=bool)
 
-    NaN already fails ``=``, ``<`` and friends, matching SQL's
-    unknown-is-excluded; but ``!=`` (and any comparison under ``NOT``)
-    would come out true, so those rows need an explicit validity veto.
+
+def _eval_three_valued(
+    expr: PlanExpr, rel: Relation, ctx, known_cols: dict[str, np.ndarray]
+):
+    """Kleene (K3) evaluation -> ``(truth, known)`` boolean arrays.
+
+    Invariant: ``truth`` is False wherever ``known`` is False, so the
+    truth array doubles directly as the WHERE filter mask (SQL keeps
+    only TRUE rows; UNKNOWN is excluded just like FALSE).  NULL is NaN
+    throughout, including marker columns for invalid scalar subqueries;
+    ``known_cols`` carries knownness for boolean markers (IN membership)
+    whose UNKNOWN cannot be encoded in the data itself.
     """
-    from ..plan.expressions import BoolOp, Compare
-
-    if isinstance(predicate, NotOp):
-        return _under_not_equal(predicate.operand, index, True)
-    if isinstance(predicate, BoolOp):
-        return _under_not_equal(predicate.left, index, negated) or _under_not_equal(
-            predicate.right, index, negated
-        )
-    if isinstance(predicate, Compare):
-        contains = any(
-            isinstance(leaf, SubqueryRef) and leaf.index == index
-            for leaf in predicate.walk()
-        )
-        return contains and (negated or predicate.op == "!=")
-    return False
+    device = ctx.device
+    size = rel.num_rows
+    if isinstance(expr, BoolOp):
+        lt, lk = _eval_three_valued(expr.left, rel, ctx, known_cols)
+        rt, rk = _eval_three_valued(expr.right, rel, ctx, known_cols)
+        if expr.op == "and":
+            truth = kernels.logical_and(device, lt, rt)
+            known = (lk & rk) | (lk & ~lt) | (rk & ~rt)
+        else:
+            truth = kernels.logical_or(device, lt, rt)
+            known = (lk & rk) | lt | rt
+        return truth, known
+    if isinstance(expr, NotOp):
+        truth, known = _eval_three_valued(expr.operand, rel, ctx, known_cols)
+        return (~truth) & known, known
+    if isinstance(expr, Compare):
+        left = evaluate(expr.left, rel, ctx, None)
+        right = evaluate(expr.right, rel, ctx, None)
+        left_is_array = isinstance(left, np.ndarray)
+        right_is_array = isinstance(right, np.ndarray)
+        if left_is_array and right_is_array:
+            raw = kernels.compare_arrays(device, left, right, expr.op)
+        elif left_is_array:
+            raw = kernels.compare_scalar(device, left, expr.op, right)
+        elif right_is_array:
+            raw = kernels.compare_scalar(device, right, _MIRROR[expr.op], left)
+        else:
+            raw = np.full(size, _python_compare(expr.op, left, right))
+        known = ~(_nan_mask(left, size) | _nan_mask(right, size))
+        return raw & known, known
+    if isinstance(expr, AggRef):
+        data = rel.column(expr.name).data
+        known = known_cols.get(expr.name)
+        if known is None:
+            known = ~_nan_mask(data, size)
+        return data.astype(bool) & known, known
+    if isinstance(expr, InCodes):
+        # evaluate() already folds UNKNOWN membership to False; recover
+        # knownness for the NULL-probe case so NOT does not flip it.
+        truth = evaluate(expr, rel, ctx, None)
+        if not isinstance(truth, np.ndarray):
+            truth = np.full(size, bool(truth))
+        known = np.ones(size, dtype=bool)
+        if len(expr.codes):
+            operand = evaluate(expr.operand, rel, ctx, None)
+            known = ~_nan_mask(operand, size)
+        return truth & known, known
+    raw = evaluate(expr, rel, ctx, None)
+    if not isinstance(raw, np.ndarray):
+        raw = np.full(size, bool(raw))
+    return raw.astype(bool), np.ones(size, dtype=bool)
 
 
 def _unique_tuples(keys: list[tuple]):

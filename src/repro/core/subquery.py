@@ -109,6 +109,17 @@ class TwoLevelResultVector:
         stop = start + int(self.lengths[row])
         return bool(np.any(self.values[start:stop] == value))
 
+    def null_flags(self) -> np.ndarray:
+        """Per-row flag: does iteration ``row``'s result set contain NULL?"""
+        assert self.lengths is not None, "freeze() before membership tests"
+        out = np.zeros(self.size, dtype=bool)
+        for row in range(self.size):
+            start = int(self.offsets[row])
+            stop = start + int(self.lengths[row])
+            if stop > start:
+                out[row] = bool(np.any(np.isnan(self.values[start:stop])))
+        return out
+
     def membership(self, probe: np.ndarray) -> np.ndarray:
         """Vectorised per-row membership: ``probe[i] in result[i]``."""
         assert self.lengths is not None, "freeze() before membership tests"

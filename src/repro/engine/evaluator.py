@@ -117,6 +117,24 @@ def _dispatch(ctx, node: Plan, env, memo) -> Relation:
     raise ExecutionError(f"evaluator cannot execute node {node!r}")
 
 
+def _planned_inner(ctx, node) -> Plan:
+    """The inner plan of an uncorrelated SUBQ node, built on demand.
+
+    The unnest builder attaches ``inner_plan`` eagerly, but plans that
+    come straight out of the flat/nested builder — an uncorrelated SUBQ
+    nested inside another subquery's body, or the outer block handed to
+    the cost model — carry only the bound block.  Plan it here and
+    memoise on the node, mirroring the drive-program codegen fallback.
+    """
+    inner_plan = getattr(node, "inner_plan", None)
+    if inner_plan is None:
+        from ..plan.builder import PlanBuilder
+
+        inner_plan = PlanBuilder(ctx.catalog).build(node.descriptor.block)
+        node.inner_plan = inner_plan
+    return inner_plan
+
+
 def _run_uncorrelated_subquery(ctx, node: SubqueryFilter, env, memo) -> Relation:
     descriptor = node.descriptor
     if descriptor is None or descriptor.is_correlated:
@@ -124,9 +142,7 @@ def _run_uncorrelated_subquery(ctx, node: SubqueryFilter, env, memo) -> Relation
             "correlated SUBQ reached the flat-plan evaluator; this engine "
             "requires unnesting (or use NestGPU's nested method)"
         )
-    inner_plan = getattr(node, "inner_plan", None)
-    if inner_plan is None:
-        raise ExecutionError("uncorrelated subquery was not planned")
+    inner_plan = _planned_inner(ctx, node)
     child = _run(ctx, node.child, env, memo)
     inner = _run(ctx, inner_plan, env, memo)
     if descriptor.kind == "exists":
@@ -156,9 +172,7 @@ def _run_uncorrelated_subquery_column(
         raise ExecutionError(
             "correlated SELECT-list SUBQ reached the flat-plan evaluator"
         )
-    inner_plan = getattr(node, "inner_plan", None)
-    if inner_plan is None:
-        raise ExecutionError("uncorrelated SELECT-list subquery was not planned")
+    inner_plan = _planned_inner(ctx, node)
     child = _run(ctx, node.child, env, memo)
     inner = _run(ctx, inner_plan, env, memo)
     if inner.num_rows != 1:

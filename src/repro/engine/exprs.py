@@ -64,11 +64,31 @@ def evaluate(
         return not operand
     if isinstance(expr, InCodes):
         operand = evaluate(expr.operand, rel, ctx, env)
+        has_codes = len(expr.codes) > 0
+        codes_have_null = any(
+            isinstance(code, float) and math.isnan(code) for code in expr.codes
+        )
         if not isinstance(operand, np.ndarray):
+            if has_codes and isinstance(operand, float) and math.isnan(operand):
+                return False  # NULL IN (non-empty) is UNKNOWN either way
             result = operand in expr.codes
-            return (not result) if expr.negated else result
+            if expr.negated:
+                # no match + NULL in the list -> UNKNOWN, never TRUE
+                return False if (not result and codes_have_null) else not result
+            return result
         mask = kernels.isin(device, operand, expr.code_array)
-        return kernels.logical_not(device, mask) if expr.negated else mask
+        if not expr.negated:
+            return mask
+        if codes_have_null:
+            # NOT IN over a list containing NULL keeps no row: matches
+            # flip to FALSE and non-matches are UNKNOWN.
+            return np.zeros(operand.size, dtype=bool)
+        mask = kernels.logical_not(device, mask)
+        if has_codes and np.issubdtype(operand.dtype, np.floating):
+            # NULL NOT IN (non-empty) is UNKNOWN, never TRUE.
+            device.launch("nan_check", operand.size)
+            mask = kernels.logical_and(device, mask, ~np.isnan(operand))
+        return mask
     if isinstance(expr, Arith):
         left = evaluate(expr.left, rel, ctx, env)
         right = evaluate(expr.right, rel, ctx, env)

@@ -10,7 +10,10 @@ Each query runs through three executors that share no execution code:
 * **NestGPU unnested** — Kim's rewrite — per configuration as well;
   queries the rewriter cannot handle are recorded as ``skipped``
   (:class:`~repro.errors.UnnestingError` is the expected, documented
-  outcome for the paper's Query-5 family).
+  outcome for the paper's Query-5 family);
+* **NestGPU auto** — once per query, on the matrix's lead (all-on)
+  configuration — exercising the cost model's nested-vs-unnested
+  choice and its fallback when the rewriter refuses.
 
 Row sets are compared order-insensitively with float tolerance; NaN is
 the engines' NULL and is canonicalised to a sentinel so that
@@ -178,9 +181,15 @@ class DifferentialRunner:
     def run(self, sql: str) -> Report:
         oracle = canon_rows(self._oracle_factory(self.catalog).execute(sql).rows)
         report = Report(sql=sql, oracle_rows=oracle)
-        for config_name, options in self.configs:
+        for position, (config_name, options) in enumerate(self.configs):
             engine = self._engine_factory(self.catalog, options)
-            for mode in ("nested", "unnested"):
+            # auto only on the matrix's lead (all-on) config: it runs
+            # the cost model's measured plans on top of both methods, so
+            # once per query is enough to cover the fallback decision
+            modes = ("nested", "unnested", "auto") if position == 0 else (
+                "nested", "unnested"
+            )
+            for mode in modes:
                 report.outcomes.append(
                     self._run_one(engine, sql, mode, config_name, oracle)
                 )

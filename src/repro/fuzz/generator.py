@@ -16,7 +16,14 @@ subquery; the dimensions the fuzzer sweeps are:
   LIKE, IN-lists, date windows, plus optional non-equality correlation
   (which makes the query non-unnestable, exercising the fallback path);
 * **aggregate choice** — min/max/sum/avg/count/count(*), sometimes
-  under arithmetic (the Q17 ``0.2 * avg`` shape).
+  under arithmetic (the Q17 ``0.2 * avg`` shape);
+* **subquery count** — two independent SUBQs in one WHERE (AND- or
+  OR-combined), or scalar subqueries on *both* sides of one
+  comparison (``features["num_subqueries"] == 2``);
+* **negation shape** — ``NOT IN`` via the flag and via an explicit
+  ``NOT (x IN ...)`` wrapper, plus disjunctive correlation inside the
+  subquery body — the non-unnestable shapes that force the nested
+  fallback.
 
 Literals are sampled from the actual column data so predicates sit on
 the live value range (all-empty results would test nothing); the
@@ -270,9 +277,25 @@ class QueryGenerator:
             correlation = ast.BinaryOp(
                 "=", ast.ColumnRef(inner_col), ast.ColumnRef(outer_col)
             )
-            # sometimes a non-equality correlation rides along (Q5 family)
             ordered = self._pick_ordered_correlation(outer.name, inner_name)
-            if ordered is not None and self.rng.random() < 0.2:
+            rider_roll = self.rng.random()
+            if rider_roll < 0.18:
+                # disjunctive correlation (Guravannavar): the equality
+                # only constrains one arm, so the shape is non-unnestable
+                # and must take the nested path
+                if ordered is not None:
+                    o_col, i_col = ordered
+                    op = self.rng.choice(["<", "<=", ">", ">="])
+                    arm: ast.Expr | None = ast.BinaryOp(
+                        op, ast.ColumnRef(i_col), ast.ColumnRef(o_col)
+                    )
+                else:
+                    arm = self._plain_predicate(inner, None)
+                if arm is not None:
+                    correlation = ast.BinaryOp("or", correlation, arm)
+                    features["disjunctive_correlation"] = True
+            elif ordered is not None and rider_roll < 0.38:
+                # a non-equality correlation rides along (Q5 family)
                 o_col, i_col = ordered
                 op = self.rng.choice(["<", "<=", ">", ">=", "!="])
                 correlation = ast.BinaryOp(
@@ -321,11 +344,26 @@ class QueryGenerator:
                 from_items=(ast.TableRef(inner_name),),
                 where=where,
             )
+            negation_roll = self.rng.random()
+            if negation_roll < 0.25:
+                # NOT (x IN ...): same semantics as NOT IN, but the
+                # negation arrives as a UnaryOp the unnester must unwrap
+                # (or refuse) rather than as the InExpr flag
+                features["not_wrapped"] = True
+                return (
+                    ast.UnaryOp(
+                        "not",
+                        ast.InExpr(
+                            ast.ColumnRef(member_outer), query=stmt, negated=False
+                        ),
+                    ),
+                    features,
+                )
             return (
                 ast.InExpr(
                     ast.ColumnRef(member_outer),
                     query=stmt,
-                    negated=self.rng.random() < 0.3,
+                    negated=negation_roll < 0.5,
                 ),
                 features,
             )
@@ -469,6 +507,11 @@ class QueryGenerator:
         return FuzzQuery(self.seed, stmt, unparse(stmt), features)
 
     def _where_query(self, outer: _TableInfo):
+        shape_roll = self.rng.random()
+        if shape_roll < 0.22:
+            return self._multi_subquery_query(outer)
+        if shape_roll < 0.38:
+            return self._both_sides_query(outer)
         depth = 2 if self.rng.random() < 0.15 else 1
         subquery_conjunct, features = self._subquery_where(outer, depth)
         conjuncts: list[ast.Expr] = []
@@ -479,8 +522,92 @@ class QueryGenerator:
         # plain predicates first: the rowstore applies conjuncts in
         # order, so cheap filters bound the per-tuple subquery loop
         conjuncts.append(subquery_conjunct)
-        where = self._and_all(conjuncts)
+        return self._finish_where_stmt(outer, self._and_all(conjuncts)), features
 
+    def _multi_subquery_query(self, outer: _TableInfo):
+        """Two independent SUBQs in one WHERE, AND- or OR-combined.
+
+        This is the shape that drives the multi-subquery evaluator
+        (nested loops per SUBQ, per-subquery caches) and — OR-combined —
+        the unnester's one-SUBQ-per-conjunct refusal.
+        """
+        first, f1 = self._subquery_where(outer, 1)
+        second, f2 = self._subquery_where(outer, 1)
+        combiner = "or" if self.rng.random() < 0.5 else "and"
+        features = {
+            "kind": f"{f1['kind']}+{f2['kind']}",
+            "correlated": f1["correlated"] or f2["correlated"],
+            "depth": max(f1["depth"], f2["depth"]),
+            "num_subqueries": 2,
+            "combiner": combiner,
+        }
+        conjuncts: list[ast.Expr] = []
+        for _ in range(self.rng.randint(0, 1)):
+            predicate = self._plain_predicate(outer, None)
+            if predicate is not None:
+                conjuncts.append(predicate)
+        if combiner == "or":
+            conjuncts.append(ast.BinaryOp("or", first, second))
+        else:
+            conjuncts.extend([first, second])
+        return self._finish_where_stmt(outer, self._and_all(conjuncts)), features
+
+    def _both_sides_query(self, outer: _TableInfo):
+        """Scalar subqueries on *both* sides of one comparison."""
+        left, left_correlated = self._scalar_operand(outer)
+        right, right_correlated = self._scalar_operand(outer)
+        op = self.rng.choice(_COMPARES)
+        correlated = left_correlated or right_correlated
+        features = {
+            "kind": "scalar+scalar",
+            "correlated": correlated,
+            "depth": 1 if correlated else 0,
+            "num_subqueries": 2,
+            "both_sides": True,
+        }
+        conjuncts: list[ast.Expr] = []
+        for _ in range(self.rng.randint(0, 1)):
+            predicate = self._plain_predicate(outer, None)
+            if predicate is not None:
+                conjuncts.append(predicate)
+        conjuncts.append(ast.BinaryOp(op, left, right))
+        return self._finish_where_stmt(outer, self._and_all(conjuncts)), features
+
+    def _scalar_operand(self, outer: _TableInfo) -> tuple[ast.Expr, bool]:
+        """One aggregate scalar subquery usable as a comparison operand."""
+        picked = self._pick_correlation(outer.name)
+        correlated = picked is not None and self.rng.random() > 0.25
+        if correlated:
+            outer_col, inner_name, inner_col = picked
+            correlation: ast.Expr | None = ast.BinaryOp(
+                "=", ast.ColumnRef(inner_col), ast.ColumnRef(outer_col)
+            )
+        else:
+            inner_name = self.rng.choice([n for n in self.tables if n != outer.name])
+            correlation = None
+        inner = self.tables[inner_name]
+        where = self._inner_where(inner, correlation, extra_range=(0, 1))
+        agg = self.rng.choice(_AGGREGATES)
+        if agg == "count":
+            call = ast.FuncCall("count", star=True)
+        else:
+            call = ast.FuncCall(
+                agg, (ast.ColumnRef(self.rng.choice(inner.numeric_cols)),)
+            )
+        stmt = ast.SelectStmt(
+            items=(ast.SelectItem(call),),
+            from_items=(ast.TableRef(inner_name),),
+            where=where,
+        )
+        expr: ast.Expr = ast.SubqueryExpr(stmt)
+        if self.rng.random() < 0.2:
+            factor = ast.Literal(self.rng.choice([0.2, 0.5, 2.0]), "decimal")
+            expr = ast.BinaryOp("*", factor, expr)
+        return expr, correlated
+
+    def _finish_where_stmt(
+        self, outer: _TableInfo, where: ast.Expr | None
+    ) -> ast.SelectStmt:
         columns = self.rng.sample(
             outer.numeric_cols, k=min(self.rng.randint(1, 3), len(outer.numeric_cols))
         )
@@ -492,14 +619,13 @@ class QueryGenerator:
                 ast.OrderItem(ast.ColumnRef(c), descending=self.rng.random() < 0.5)
                 for c in columns
             )
-        stmt = ast.SelectStmt(
+        return ast.SelectStmt(
             items=items,
             from_items=(ast.TableRef(outer.name),),
             where=where,
             order_by=order_by,
             distinct=distinct,
         )
-        return stmt, features
 
     def _select_query(self, outer: _TableInfo):
         """A scalar subquery in the SELECT list."""

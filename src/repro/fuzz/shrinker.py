@@ -1,9 +1,12 @@
 """Delta-debugging a failing fuzz query down to a minimal reproducer.
 
 Classic greedy shrinking over the AST: each pass proposes candidate
-simplifications (drop a conjunct anywhere in the query tree, drop
-SELECT items, strip ORDER BY / DISTINCT / LIMIT / HAVING, move
-literals toward zero), a candidate is kept when the caller-provided
+simplifications (drop a conjunct anywhere in the query tree, keep one
+disjunct of an OR — which shrinks each SUBQ of a multi-subquery
+predicate independently and can drop one entirely — unwrap a NOT,
+replace a scalar subquery operand with a literal, drop SELECT items,
+strip ORDER BY / DISTINCT / LIMIT / HAVING, move literals toward
+zero), a candidate is kept when the caller-provided
 ``still_fails`` predicate confirms the divergence survives, and the
 loop runs to a fixpoint.  The predicate is expected to swallow engine
 errors and return ``False`` for candidates that stop being valid
@@ -58,6 +61,7 @@ def _size(stmt: ast.SelectStmt) -> int:
 def _candidates(stmt: ast.SelectStmt) -> Iterator[ast.SelectStmt]:
     yield from _clause_drops(stmt)
     yield from _conjunct_drops(stmt)
+    yield from _rewrite_candidates(stmt)
     yield from _select_item_drops(stmt)
     yield from _literal_shrinks(stmt)
 
@@ -227,6 +231,107 @@ def _rewrite_subqueries(stmt: ast.SelectStmt, counter: list[int]) -> ast.SelectS
     return dataclasses.replace(
         stmt, items=items, where=where, having=having, from_items=from_items
     )
+
+
+def _map_expr(expr: ast.Expr, fn) -> ast.Expr:
+    """Rebuild ``expr`` top-down; ``fn`` returning a node replaces the
+    subtree (no further descent), returning None keeps descending."""
+    replaced = fn(expr)
+    if replaced is not None:
+        return replaced
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _map_expr(expr.left, fn), _map_expr(expr.right, fn))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _map_expr(expr.operand, fn))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name, tuple(_map_expr(a, fn) for a in expr.args),
+            expr.star, expr.distinct,
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        return ast.BetweenExpr(
+            _map_expr(expr.operand, fn), _map_expr(expr.low, fn),
+            _map_expr(expr.high, fn), expr.negated,
+        )
+    if isinstance(expr, ast.LikeExpr):
+        return ast.LikeExpr(_map_expr(expr.operand, fn), expr.pattern, expr.negated)
+    if isinstance(expr, ast.InExpr):
+        return ast.InExpr(
+            _map_expr(expr.operand, fn),
+            query=_map_stmt(expr.query, fn) if expr.query is not None else None,
+            values=tuple(_map_expr(v, fn) for v in expr.values),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ast.SubqueryExpr):
+        return ast.SubqueryExpr(_map_stmt(expr.query, fn))
+    if isinstance(expr, ast.ExistsExpr):
+        return ast.ExistsExpr(_map_stmt(expr.query, fn), expr.negated)
+    if isinstance(expr, ast.QuantifiedExpr):
+        return ast.QuantifiedExpr(
+            expr.op, expr.quantifier, _map_expr(expr.operand, fn),
+            _map_stmt(expr.query, fn),
+        )
+    return expr
+
+
+def _map_stmt(stmt: ast.SelectStmt, fn) -> ast.SelectStmt:
+    items = tuple(
+        item if isinstance(item.expr, ast.Star)
+        else ast.SelectItem(_map_expr(item.expr, fn), item.alias)
+        for item in stmt.items
+    )
+    where = _map_expr(stmt.where, fn) if stmt.where is not None else None
+    having = _map_expr(stmt.having, fn) if stmt.having is not None else None
+    from_items = tuple(
+        ast.DerivedTable(_map_stmt(f.query, fn), f.alias)
+        if isinstance(f, ast.DerivedTable) else f
+        for f in stmt.from_items
+    )
+    return dataclasses.replace(
+        stmt, items=items, where=where, having=having, from_items=from_items
+    )
+
+
+def _proposals(expr: ast.Expr) -> list[ast.Expr]:
+    """Local simplifications of one expression node."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "or":
+        # keep either disjunct — shrinks each SUBQ of an OR-combined
+        # pair independently and can drop one of them entirely
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+        return [expr.operand]
+    if isinstance(expr, ast.SubqueryExpr):
+        # a both-sides comparison degrades to a one-subquery comparison
+        return [ast.Literal(0, "int")]
+    return []
+
+
+def _rewrite_candidates(stmt: ast.SelectStmt) -> Iterator[ast.SelectStmt]:
+    """One local `_proposals` rewrite applied at each site in turn."""
+    count = [0]
+
+    def counting(expr: ast.Expr) -> None:
+        count[0] += len(_proposals(expr))
+        return None
+
+    _map_stmt(stmt, counting)
+    for site in range(count[0]):
+        state = [site, False]  # [remaining offset, consumed]
+
+        def rewriting(expr: ast.Expr):
+            if state[1]:
+                return None
+            options = _proposals(expr)
+            if not options:
+                return None
+            if state[0] < len(options):
+                choice = options[state[0]]
+                state[1] = True
+                return choice
+            state[0] -= len(options)
+            return None
+
+        yield _map_stmt(stmt, rewriting)
 
 
 def _literal_shrinks(stmt: ast.SelectStmt) -> Iterator[ast.SelectStmt]:

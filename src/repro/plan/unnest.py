@@ -105,6 +105,18 @@ def _unnest_scalar(builder, plan, conjunct, descriptor) -> Plan:
             )
         return _unnest_count_dayal(builder, plan, conjunct, descriptor, pairs[0])
 
+    if any(isinstance(part, BoolOp) for part in conjunct.walk()):
+        # The derived-table inner join drops outer rows whose group is
+        # empty — correct for a bare conjunct (UNKNOWN is excluded) but
+        # wrong under a disjunction, where TRUE OR UNKNOWN must keep the
+        # row.  (Dayal's count path above is safe: LeftLookup keeps
+        # every outer row with a 0 default.)
+        raise UnnestingError(
+            "scalar subquery under a disjunction cannot be unnested: the "
+            "derived-table join drops empty groups that TRUE OR UNKNOWN "
+            "must keep — use the nested method"
+        )
+
     # derived block: inner grouped by its correlated columns
     key_names = [f"k{i}" for i in range(len(pairs))]
     derived_block = BoundBlock(
@@ -372,6 +384,12 @@ def _equality_correlations(block: BoundBlock) -> list[tuple[ColRef, str]]:
         params = referenced_params(conjunct)
         if not params:
             continue
+        if isinstance(conjunct, BoolOp):
+            raise UnnestingError(
+                f"disjunctive correlation {conjunct} cannot be unnested: "
+                "the correlated equality only constrains one branch of "
+                "the disjunction — use the nested method"
+            )
         if not isinstance(conjunct, Compare):
             raise UnnestingError(
                 f"correlated predicate {conjunct} is not a comparison"

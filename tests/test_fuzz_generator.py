@@ -55,8 +55,30 @@ def test_distinct_seeds_vary(fuzz_catalog):
     assert len(texts) > 10  # different seeds explore different queries
 
 
+def test_ci_smoke_seed_covers_new_shapes(fuzz_catalog):
+    """The pinned CI smoke (seed 7, 50 iterations — see ci.yml) must hit
+    the multi-subquery shapes by construction, not by luck."""
+    censuses = [generate_query(fuzz_catalog, 7, i).features for i in range(50)]
+    two_subq = [f for f in censuses if f.get("num_subqueries") == 2]
+    assert two_subq, "no two-SUBQ query in the CI smoke budget"
+    assert any(f.get("both_sides") for f in censuses), \
+        "no both-sides comparison in the CI smoke budget"
+    assert any(f.get("combiner") == "or" for f in censuses)
+    assert any(f.get("combiner") == "and" for f in censuses)
+
+
+def test_wider_census_covers_negation_shapes(fuzz_catalog):
+    censuses = [generate_query(fuzz_catalog, 1234, i).features for i in range(150)]
+    assert any(f.get("not_wrapped") for f in censuses), \
+        "NOT (x IN ...) wrapper never generated"
+    assert any(f.get("disjunctive_correlation") for f in censuses), \
+        "disjunctive correlation never generated"
+
+
 def test_features_describe_query(fuzz_catalog):
     query = generate_query(fuzz_catalog, 7, 0)
-    assert query.features["kind"] in {"scalar", "exists", "in", "quantified"}
+    kind = query.features["kind"]
+    singles = {"scalar", "exists", "in", "quantified"}
+    assert kind in singles or all(part in singles for part in kind.split("+"))
     assert query.features["placement"] in {"where", "select", "having"}
     assert isinstance(query.features["depth"], int)

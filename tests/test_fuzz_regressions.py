@@ -17,7 +17,19 @@ alongside the fuzzer:
   died at runtime with ``ExecutionError`` mid-matrix; both now raise
   ``UnnestingError`` at plan time (the documented "use the nested
   method" signal): DISTINCT aggregates, and a nested subquery whose
-  correlation reaches past the immediate outer block.
+  correlation reaches past the immediate outer block;
+* (found by the auto-mode leg of the differential matrix) the flat-plan
+  evaluator required ``inner_plan`` to be pre-attached to uncorrelated
+  SUBQ nodes, but only the unnest builder attaches it — an uncorrelated
+  subquery nested inside another subquery's body, or sitting below the
+  cost model's probe target, crashed with ``ExecutionError``; the
+  evaluator now plans the bound block on demand like codegen does;
+* the cost model's island probe walked a depth-2 subquery body and died
+  on the nested ``SubqueryFilter`` node; ``predict_nested`` now falls
+  back to full-run measurement for such bodies;
+* ``estimate_flat_plan_ns`` had no case for ``LeftLookup`` /
+  ``SubqueryColumn``, so auto mode crashed on any query whose unnested
+  plan used the Dayal count rewrite or a SELECT-list subquery.
 """
 
 from __future__ import annotations
@@ -115,3 +127,70 @@ def test_deep_correlation_refuses_to_unnest(fuzz_catalog):
 
 def test_nan_from_division_canonicalises_to_null():
     assert canon_rows([(math.nan, 1.0)]) == [("NULL", 1.0)]
+
+
+# --- auto-mode divergences flushed out by the multi-subquery grammar -------
+# (500-iteration seed-7 campaign, cases 7-50/128/143/219/309)
+
+
+def test_depth2_uncorrelated_scalar_chain_in_auto(fuzz_catalog):
+    # case 7-50: the outer subquery is uncorrelated, so the drive
+    # program evaluates it once through the flat evaluator — which used
+    # to refuse the nested SUBQ node ("uncorrelated subquery was not
+    # planned") because only the unnest builder attached inner_plan
+    sql = (
+        "SELECT o_custkey FROM orders WHERE (o_totalprice > "
+        "(SELECT avg(l_extendedprice) FROM lineitem WHERE (l_quantity > "
+        "(SELECT max(s_nationkey) FROM supplier))))"
+    )
+    oracle = _oracle(fuzz_catalog, sql)
+    assert oracle == _engine(fuzz_catalog, sql, "auto")
+    assert oracle == _engine(fuzz_catalog, sql, "nested")
+
+
+def test_uncorrelated_exists_below_probe_target_in_auto(fuzz_catalog):
+    # case 7-309: AND of an uncorrelated EXISTS and a correlated scalar.
+    # predict_nested measures the outer block below the correlated
+    # filter with the flat evaluator, which hit the unplanned EXISTS.
+    sql = (
+        "SELECT s_suppkey FROM supplier WHERE (EXISTS (SELECT * FROM lineitem) "
+        "AND (3948 < (2.0 * (SELECT avg(ps_supplycost) FROM partsupp "
+        "WHERE (ps_suppkey = s_suppkey)))))"
+    )
+    assert _oracle(fuzz_catalog, sql) == _engine(fuzz_catalog, sql, "auto")
+
+
+def test_quantified_over_nested_exists_in_auto(fuzz_catalog):
+    # case 7-219: ANY subquery whose body contains its own EXISTS; the
+    # cost model's island probe cannot walk a nested SUBQ node and now
+    # falls back to measuring the full execution
+    sql = (
+        "SELECT o_custkey FROM orders WHERE o_orderkey >= ANY "
+        "(SELECT l_orderkey FROM lineitem WHERE EXISTS (SELECT * FROM part))"
+    )
+    assert _oracle(fuzz_catalog, sql) == _engine(fuzz_catalog, sql, "auto")
+
+
+def test_depth2_correlated_probe_falls_back_to_full_run(fuzz_catalog):
+    # unminimized shape of cases 7-50/143: the probe target is a
+    # correlated scalar whose body holds another correlated scalar —
+    # run_iteration used to die with "cannot probe node SubqueryFilter"
+    sql = (
+        "SELECT o_custkey FROM orders WHERE (o_totalprice > "
+        "(SELECT avg(l_extendedprice) FROM lineitem WHERE ((l_orderkey = o_orderkey) "
+        "AND (l_quantity > (SELECT max(s_nationkey) FROM supplier "
+        "WHERE (s_suppkey = l_suppkey))))))"
+    )
+    assert _oracle(fuzz_catalog, sql) == _engine(fuzz_catalog, sql, "auto")
+
+
+def test_select_list_subquery_estimable_in_auto(fuzz_catalog):
+    # found while wiring auto into the differential matrix: the flat
+    # estimator had no LeftLookup / SubqueryColumn cases, so any
+    # SELECT-list subquery crashed choose_execution_path with
+    # "cannot estimate node"
+    sql = (
+        "SELECT p_partkey, (SELECT min(l_orderkey) FROM lineitem "
+        "WHERE (l_partkey = p_partkey)) AS v FROM part"
+    )
+    assert _oracle(fuzz_catalog, sql) == _engine(fuzz_catalog, sql, "auto")

@@ -1,0 +1,148 @@
+"""Hand-written three-valued-logic tests for NOT IN / NOT EXISTS.
+
+SQL's IN predicate is three-valued: ``x IN (subq)`` is TRUE on a
+match, FALSE only when the result set is empty or provably match-free,
+and UNKNOWN when no match exists but either ``x`` is NULL or the result
+set contains a NULL.  ``NOT`` maps UNKNOWN to UNKNOWN, and a WHERE
+clause keeps only TRUE rows — so ``x NOT IN (1, NULL)`` never keeps a
+row unless the set is empty.  The engines represent NULL as NaN, which
+silently turned UNKNOWN into TRUE under negation (``(not result)`` in
+the expression evaluator was a two-valued flip).
+
+These tests pin the correct semantics by hand *before* the fuzzer runs,
+per-engine (rowstore oracle, NestGPU nested/unnested/auto), so a
+regression cannot hide behind oracle/engine agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.rowstore import RowstoreEngine
+from repro.core import NestGPU
+from repro.engine import EngineOptions
+from repro.errors import UnnestingError
+from repro.fuzz.differential import canon_rows
+from repro.tpch import generate_tpch
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(0.05)
+
+
+def _oracle(catalog, sql):
+    return canon_rows(RowstoreEngine(catalog).execute(sql).rows)
+
+
+def _engine(catalog, sql, mode, options=None):
+    db = NestGPU(catalog, options=options or EngineOptions())
+    return canon_rows(db.execute(sql, mode=mode).rows)
+
+
+# region has keys 0..4, so (r_regionkey / r_regionkey) is {NULL, 1.0}:
+# 0/0 is NULL (division by zero) and every other key divides to 1.
+NULLABLE_SET = "(SELECT (r_regionkey / r_regionkey) FROM region)"
+
+
+def test_not_in_with_null_in_set_matches_nothing(catalog):
+    # x NOT IN (1, NULL): FALSE for x = 1, UNKNOWN for everything else
+    # (the NULL might be x) -> no row can satisfy the WHERE clause.
+    sql = f"SELECT n_nationkey FROM nation WHERE n_nationkey NOT IN {NULLABLE_SET}"
+    assert _oracle(catalog, sql) == []
+    for mode in ("nested", "unnested", "auto"):
+        assert _engine(catalog, sql, mode) == []
+
+
+def test_in_with_null_in_set_keeps_only_matches(catalog):
+    # x IN (1, NULL): TRUE exactly for x = 1; UNKNOWN (excluded) for
+    # the rest.  A match must not be poisoned by the NULL.
+    sql = f"SELECT n_nationkey FROM nation WHERE n_nationkey IN {NULLABLE_SET}"
+    assert _oracle(catalog, sql) == [(1.0,)]
+    for mode in ("nested", "unnested", "auto"):
+        assert _engine(catalog, sql, mode) == [(1.0,)]
+
+
+def test_not_wrapped_in_with_null_in_set_matches_nothing(catalog):
+    # NOT (x IN (1, NULL)) must behave exactly like x NOT IN (1, NULL):
+    # NOT maps UNKNOWN to UNKNOWN, it does not flip it to TRUE.
+    sql = f"SELECT n_nationkey FROM nation WHERE (NOT n_nationkey IN {NULLABLE_SET})"
+    assert _oracle(catalog, sql) == []
+    for mode in ("nested", "unnested", "auto"):
+        assert _engine(catalog, sql, mode) == []
+
+
+def test_null_operand_not_in_is_unknown(catalog):
+    # The probe (n_nationkey / (n_nationkey - 3)) is NULL for key 3;
+    # NULL NOT IN (non-empty set) is UNKNOWN -> key 3 is excluded even
+    # though no set element equals NULL.
+    sql = (
+        "SELECT n_nationkey FROM nation WHERE "
+        "((n_nationkey / (n_nationkey - 3)) NOT IN (SELECT r_regionkey FROM region))"
+    )
+    oracle = _oracle(catalog, sql)
+    assert (3.0,) not in oracle  # UNKNOWN probe row dropped
+    assert (1.0,) in oracle      # 1/-2 = -0.5 is genuinely absent from the set
+    for mode in ("nested", "unnested", "auto"):
+        assert _engine(catalog, sql, mode) == oracle
+
+
+def test_not_in_empty_set_is_true_even_for_null_probe(catalog):
+    # x NOT IN (empty set) is TRUE regardless of x, NULL probe included.
+    sql = (
+        "SELECT n_nationkey FROM nation WHERE "
+        "((n_nationkey / (n_nationkey - 3)) NOT IN "
+        "(SELECT r_regionkey FROM region WHERE (r_regionkey > 99)))"
+    )
+    oracle = _oracle(catalog, sql)
+    assert len(oracle) == 25  # every nation row survives
+    for mode in ("nested", "unnested", "auto"):
+        assert _engine(catalog, sql, mode) == oracle
+
+
+def test_unknown_under_or_does_not_veto_true_disjunct(catalog):
+    # Kleene OR: TRUE OR UNKNOWN is TRUE.  The inner filter never
+    # matches, so every customer's scalar is NULL and the != comparison
+    # UNKNOWN — but the left disjunct is TRUE for every row, so all
+    # customers must survive.  (The engine used to veto the whole row
+    # on subquery invalidity whenever != appeared in the predicate.)
+    sql = (
+        "SELECT c_custkey FROM customer WHERE ((c_custkey >= 0) OR (c_acctbal != "
+        "(SELECT max(o_totalprice) FROM orders "
+        "WHERE ((o_custkey = c_custkey) AND (o_totalprice < 0)))))"
+    )
+    customers = catalog.table("customer").num_rows
+    oracle = _oracle(catalog, sql)
+    assert len(oracle) == customers
+    for config in (EngineOptions(), EngineOptions.all_off()):
+        assert _engine(catalog, sql, "nested", config) == oracle
+    assert _engine(catalog, sql, "auto") == oracle
+
+
+def test_scalar_under_or_refuses_to_unnest(catalog):
+    # Kim's rewrite turns the scalar subquery into an inner join, which
+    # silently drops outer rows with empty groups — wrong under a
+    # disjunction where the other arm is TRUE.  Must refuse at plan
+    # time so auto mode falls back to nested.
+    sql = (
+        "SELECT c_custkey FROM customer WHERE ((c_custkey >= 0) OR (c_acctbal != "
+        "(SELECT max(o_totalprice) FROM orders WHERE (o_custkey = c_custkey))))"
+    )
+    db = NestGPU(catalog, options=EngineOptions())
+    with pytest.raises(UnnestingError):
+        db.execute(sql, mode="unnested")
+    assert _engine(catalog, sql, "auto") == _oracle(catalog, sql)
+
+
+def test_not_exists_stays_two_valued(catalog):
+    # EXISTS never yields UNKNOWN — a result set is empty or it is not —
+    # so NOT EXISTS must keep its plain boolean behaviour.
+    sql = (
+        "SELECT c_custkey FROM customer WHERE (NOT EXISTS "
+        "(SELECT * FROM orders WHERE ((o_custkey = c_custkey) "
+        "AND (o_totalprice < 50000))))"
+    )
+    oracle = _oracle(catalog, sql)
+    assert oracle  # some customers lack cheap orders at this scale
+    for mode in ("nested", "unnested", "auto"):
+        assert _engine(catalog, sql, mode) == oracle

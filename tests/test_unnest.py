@@ -95,6 +95,74 @@ class TestRefusals:
                 """,
             )
 
+    def test_disjunctive_correlation(self, rst_catalog):
+        # Guravannavar: the correlated equality only constrains one arm
+        # of the disjunction, so grouping by it is unsound.
+        with pytest.raises(UnnestingError, match="disjunctive correlation"):
+            build_unnested(
+                rst_catalog,
+                """
+                SELECT r_col1 FROM r WHERE r_col2 = (
+                  SELECT min(s_col2) FROM s
+                  WHERE ((s_col1 = r_col1) OR (s_col3 > 5)))
+                """,
+            )
+
+    def test_not_wrapped_correlated_in(self, rst_catalog):
+        with pytest.raises(UnnestingError):
+            build_unnested(
+                rst_catalog,
+                """
+                SELECT r_col1 FROM r WHERE (NOT r_col1 IN (
+                  SELECT s_col1 FROM s WHERE s_col2 = r_col2))
+                """,
+            )
+
+    def test_scalar_under_disjunction(self, rst_catalog):
+        # The derived-table inner join drops outer rows with empty
+        # groups; under OR those rows may still be TRUE via the other
+        # arm, so the rewrite must refuse at plan time.
+        with pytest.raises(UnnestingError, match="disjunction"):
+            build_unnested(
+                rst_catalog,
+                """
+                SELECT r_col1 FROM r WHERE ((r_col2 > 99) OR (r_col2 = (
+                  SELECT min(s_col2) FROM s WHERE s_col1 = r_col1)))
+                """,
+            )
+
+
+class TestAutoFallback:
+    """Plan-time refusals let auto mode fall back to the nested method."""
+
+    @pytest.mark.parametrize("sql", [
+        # disjunctive correlation inside the subquery body
+        """
+        SELECT r_col1 FROM r WHERE r_col2 = (
+          SELECT min(s_col2) FROM s
+          WHERE ((s_col1 = r_col1) OR (s_col3 > 5)))
+        """,
+        # correlated IN under NOT
+        """
+        SELECT r_col1 FROM r WHERE (NOT r_col1 IN (
+          SELECT s_col1 FROM s WHERE s_col2 = r_col2))
+        """,
+        # scalar subquery under a disjunction
+        """
+        SELECT r_col1 FROM r WHERE ((r_col2 > 99) OR (r_col2 = (
+          SELECT min(s_col2) FROM s WHERE s_col1 = r_col1)))
+        """,
+    ])
+    def test_auto_executes_refused_shapes(self, rst_catalog, sql):
+        from repro.core import NestGPU
+
+        db = NestGPU(rst_catalog)
+        with pytest.raises(UnnestingError):
+            db.execute(sql, mode="unnested")
+        nested = db.execute(sql, mode="nested")
+        auto = db.execute(sql, mode="auto")
+        assert sorted(auto.rows) == sorted(nested.rows)
+
 
 class TestEquivalence:
     """Query 1 unnested by our rewriter == the paper's hand-written Query 2."""

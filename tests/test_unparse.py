@@ -1,0 +1,128 @@
+"""Round-trip tests for ``repro.sql.unparse`` precedence handling.
+
+The property that keeps fuzz reproducers honest: for every tree the
+generator can emit, ``parse(unparse(stmt)) == stmt`` — in particular
+around OR/AND nesting and comparisons with subquery operands on both
+sides, where missing parentheses would silently reassociate the
+predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import ast, parse, unparse
+
+
+def roundtrip(stmt: ast.SelectStmt) -> None:
+    text = unparse(stmt)
+    reparsed = parse(text)
+    assert reparsed == stmt, f"round-trip drift:\n{text}"
+    assert unparse(reparsed) == text  # idempotent on its own output
+
+
+def subq(agg: str, column: str, table: str) -> ast.SubqueryExpr:
+    return ast.SubqueryExpr(
+        ast.SelectStmt(
+            items=(ast.SelectItem(ast.FuncCall(agg, (ast.ColumnRef(column),))),),
+            from_items=(ast.TableRef(table),),
+        )
+    )
+
+
+def select(where: ast.Expr) -> ast.SelectStmt:
+    return ast.SelectStmt(
+        items=(ast.SelectItem(ast.ColumnRef("a")),),
+        from_items=(ast.TableRef("t"),),
+        where=where,
+    )
+
+
+CMP_A = ast.BinaryOp(">", ast.ColumnRef("a"), ast.Literal(1, "int"))
+CMP_B = ast.BinaryOp("<", ast.ColumnRef("b"), ast.Literal(2, "int"))
+CMP_C = ast.BinaryOp("=", ast.ColumnRef("c"), ast.Literal(3, "int"))
+
+
+class TestBooleanPrecedence:
+    def test_or_of_ands(self):
+        roundtrip(select(ast.BinaryOp(
+            "or", ast.BinaryOp("and", CMP_A, CMP_B), CMP_C
+        )))
+
+    def test_and_of_ors(self):
+        # without parens this would reassociate: AND binds tighter
+        roundtrip(select(ast.BinaryOp(
+            "and", ast.BinaryOp("or", CMP_A, CMP_B), CMP_C
+        )))
+
+    def test_left_vs_right_association(self):
+        left = ast.BinaryOp("or", ast.BinaryOp("or", CMP_A, CMP_B), CMP_C)
+        right = ast.BinaryOp("or", CMP_A, ast.BinaryOp("or", CMP_B, CMP_C))
+        assert left != right
+        roundtrip(select(left))
+        roundtrip(select(right))
+
+    def test_not_over_disjunction(self):
+        roundtrip(select(ast.UnaryOp("not", ast.BinaryOp("or", CMP_A, CMP_B))))
+
+
+class TestSubqueryOperands:
+    def test_subquery_on_both_comparison_sides(self):
+        roundtrip(select(ast.BinaryOp(
+            "<", subq("min", "b", "u"), subq("max", "c", "v")
+        )))
+
+    def test_both_sides_with_arithmetic_factor(self):
+        scaled = ast.BinaryOp(
+            "*", ast.Literal(0.5, "decimal"), subq("avg", "b", "u")
+        )
+        roundtrip(select(ast.BinaryOp("<=", scaled, subq("sum", "c", "v"))))
+
+    @pytest.mark.parametrize("combiner", ["and", "or"])
+    def test_two_subqueries_combined(self, combiner):
+        first = ast.BinaryOp(">", ast.ColumnRef("a"), subq("min", "b", "u"))
+        second = ast.InExpr(
+            ast.ColumnRef("a"),
+            query=ast.SelectStmt(
+                items=(ast.SelectItem(ast.ColumnRef("c")),),
+                from_items=(ast.TableRef("v"),),
+            ),
+            negated=False,
+        )
+        roundtrip(select(ast.BinaryOp(combiner, first, second)))
+
+    def test_not_wrapped_in_subquery(self):
+        inner = ast.InExpr(
+            ast.ColumnRef("a"),
+            query=ast.SelectStmt(
+                items=(ast.SelectItem(ast.ColumnRef("b")),),
+                from_items=(ast.TableRef("u"),),
+            ),
+            negated=False,
+        )
+        roundtrip(select(ast.UnaryOp("not", inner)))
+
+    def test_not_in_under_or(self):
+        inner = ast.InExpr(
+            ast.ColumnRef("a"),
+            query=ast.SelectStmt(
+                items=(ast.SelectItem(ast.ColumnRef("b")),),
+                from_items=(ast.TableRef("u"),),
+            ),
+            negated=True,
+        )
+        roundtrip(select(ast.BinaryOp("or", CMP_A, inner)))
+
+    def test_disjunctive_correlation_inside_subquery(self):
+        body = ast.SelectStmt(
+            items=(ast.SelectItem(ast.FuncCall("min", (ast.ColumnRef("b"),))),),
+            from_items=(ast.TableRef("u"),),
+            where=ast.BinaryOp(
+                "or",
+                ast.BinaryOp("=", ast.ColumnRef("u_key"), ast.ColumnRef("a")),
+                ast.BinaryOp(">", ast.ColumnRef("b"), ast.Literal(5, "int")),
+            ),
+        )
+        roundtrip(select(ast.BinaryOp(
+            "=", ast.ColumnRef("a"), ast.SubqueryExpr(body)
+        )))
