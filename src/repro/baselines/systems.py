@@ -47,8 +47,10 @@ class BaselineSystem:
         self._engine = engine
         self._mode = mode
 
-    def execute(self, sql: str) -> QueryResult:
-        return self._engine.execute(sql, mode=self._mode)
+    def execute(self, sql: str, tracer=None, metrics=None) -> QueryResult:
+        return self._engine.execute(
+            sql, mode=self._mode, tracer=tracer, metrics=metrics
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} ({self.name})>"

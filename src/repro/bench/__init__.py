@@ -16,7 +16,13 @@ from .figures import (
     figure15_operator_costs,
     figure16_query_cost,
 )
-from .report import format_sweep, geometric_speedups, print_sweep, speedup
+from .report import (
+    format_kernel_breakdown,
+    format_sweep,
+    geometric_speedups,
+    print_sweep,
+    speedup,
+)
 from .runner import Measurement, Sweep, run_sweep
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "figure16_query_cost",
     "figure8_q2",
     "figure9_q4",
+    "format_kernel_breakdown",
     "format_sweep",
     "geometric_speedups",
     "print_sweep",

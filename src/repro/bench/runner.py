@@ -71,6 +71,12 @@ class Sweep:
         return "\n".join(lines) + "\n"
 
 
+def _slug(text: str) -> str:
+    return "".join(
+        c if c.isalnum() or c in "._-" else "-" for c in text
+    ).strip("-")
+
+
 def run_sweep(
     title: str,
     sql: str,
@@ -78,26 +84,62 @@ def run_sweep(
     scale_factors: Sequence[float],
     tables: tuple[str, ...] | None = None,
     seed: int = 0,
+    trace_dir: str | None = None,
+    metrics=None,
 ) -> Sweep:
     """Execute ``sql`` on every system at every scale factor.
 
     Systems that cannot run a configuration record ``time_ms=None``
     with a note — exactly how the paper handles PostgreSQL's timeouts
     and GPUDB+'s out-of-memory points.
+
+    ``trace_dir`` writes one Chrome trace-event JSON per cell (named
+    ``<title>__<system>__sf<sf>.json``); failed cells still export
+    whatever spans they reached.  ``metrics`` folds every successful
+    run into a shared :class:`~repro.obs.metrics.MetricsRegistry`.
     """
     sweep = Sweep(title)
     for scale_factor in scale_factors:
         catalog = generate_tpch(scale_factor, seed=seed, tables=tables)
         for name, factory in system_factories:
             system = factory(catalog)
+            tracer = None
+            if trace_dir is not None:
+                from ..obs import Tracer
+
+                tracer = Tracer()
             try:
-                result = system.execute(sql)
-            except UnnestingError:
-                sweep.add(Measurement(name, scale_factor, None, note="cannot unnest"))
-                continue
-            except DeviceMemoryError:
-                sweep.add(Measurement(name, scale_factor, None, note="out of memory"))
-                continue
+                try:
+                    if tracer is None and metrics is None:
+                        # keep the bare protocol for third-party systems
+                        result = system.execute(sql)
+                    else:
+                        result = system.execute(
+                            sql, tracer=tracer, metrics=metrics
+                        )
+                except UnnestingError:
+                    sweep.add(
+                        Measurement(name, scale_factor, None, note="cannot unnest")
+                    )
+                    continue
+                except DeviceMemoryError:
+                    sweep.add(
+                        Measurement(name, scale_factor, None, note="out of memory")
+                    )
+                    continue
+            finally:
+                if tracer is not None:
+                    import os
+
+                    from ..obs import write_chrome_trace
+
+                    tracer.finish()
+                    fname = (
+                        f"{_slug(title)}__{_slug(name)}__sf{scale_factor:g}.json"
+                    )
+                    write_chrome_trace(
+                        os.path.join(trace_dir, fname), tracer
+                    )
             sweep.add(
                 Measurement(
                     name,
@@ -109,6 +151,13 @@ def run_sweep(
                         "transfer_fraction": result.stats.transfer_fraction,
                         "peak_device_bytes": result.stats.peak_device_bytes,
                         "cache_hits": result.cache_hits,
+                        "cache_misses": result.cache_misses,
+                        "predicted_ms": result.predicted_ms,
+                        "kernel_time_by_tag_ms": {
+                            tag: ns / 1e6
+                            for tag, ns in result.stats.kernel_time_by_tag.items()
+                        },
+                        "launches_by_tag": dict(result.stats.launches_by_tag),
                     },
                 )
             )

@@ -5,12 +5,18 @@ Usage:
     python -m repro.cli --scale 5                 # REPL over TPC-H
     python -m repro.cli --scale 5 -q "SELECT ..." # one-shot query
     python -m repro.cli --mode nested --explain -q "..."
+    python -m repro.cli --paper-query tpch_q2 --analyze   # EXPLAIN ANALYZE
+    python -m repro.cli -q "..." --trace trace.json --metrics metrics.json
     python -m repro.cli fuzz --seed 7 --iterations 50   # differential fuzz
 
 Inside the REPL, terminate statements with ``;``.  Meta-commands:
 ``\\d`` lists tables, ``\\explain <sql>`` shows the plan and the
-transient/invariant marking, ``\\source <sql>`` prints the generated
-drive program, ``\\q`` quits.
+transient/invariant marking, ``\\analyze <sql>`` runs EXPLAIN ANALYZE,
+``\\source <sql>`` prints the generated drive program, ``\\q`` quits.
+
+``--trace PATH`` exports a Chrome trace-event JSON of every traced
+query (load it at https://ui.perfetto.dev); ``--metrics PATH`` writes
+the engine metrics registry as JSON and prints the text dump.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from .core import NestGPU, QueryResult
 from .engine import EngineOptions
 from .errors import ReproError
 from .gpu import DeviceSpec
-from .tpch import generate_tpch
+from .tpch import ALL_EVALUATION_QUERIES, generate_tpch
 
 
 def format_result(result: QueryResult, max_rows: int = 40) -> str:
@@ -76,24 +82,45 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--query", help="run one statement and exit",
     )
     parser.add_argument(
+        "--paper-query", choices=sorted(ALL_EVALUATION_QUERIES),
+        help="run one of the paper's evaluation queries and exit",
+    )
+    parser.add_argument(
         "--explain", action="store_true",
-        help="with -q: print the plan instead of executing",
+        help="with a query: print the plan instead of executing",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="with a query: EXPLAIN ANALYZE (run + annotated plan tree)",
     )
     parser.add_argument(
         "--source", action="store_true",
-        help="with -q: print the generated drive program instead of executing",
+        help="with a query: print the generated drive program instead of executing",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="export a Chrome trace-event JSON of the traced queries",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the metrics registry as JSON and print the text dump",
     )
     return parser
 
 
-def make_engine(args) -> NestGPU:
+def make_engine(args, tracer=None, metrics=None) -> NestGPU:
     device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
     catalog = generate_tpch(args.scale)
-    return NestGPU(catalog, device=device, options=EngineOptions(), mode=args.mode)
+    return NestGPU(
+        catalog, device=device, options=EngineOptions(), mode=args.mode,
+        tracer=tracer, metrics=metrics,
+    )
 
 
 def run_statement(db: NestGPU, sql: str, explain: bool = False,
-                  source: bool = False) -> str:
+                  source: bool = False, analyze: bool = False) -> str:
+    if analyze:
+        return db.explain(sql, analyze=True)
     if explain:
         return db.explain(sql)
     if source:
@@ -116,13 +143,14 @@ def repl(db: NestGPU, stdin=None, stdout=None) -> None:
                 for table in db.catalog:
                     print(f"  {table.name:12s} {table.num_rows:>9d} rows", file=stdout)
                 continue
-            if command in ("\\explain", "\\source"):
+            if command in ("\\explain", "\\analyze", "\\source"):
                 try:
                     sql = rest.rstrip(";")
                     output = run_statement(
                         db, sql,
                         explain=(command == "\\explain"),
                         source=(command == "\\source"),
+                        analyze=(command == "\\analyze"),
                     )
                     print(output, file=stdout)
                 except ReproError as exc:
@@ -154,16 +182,46 @@ def main(argv: list[str] | None = None) -> int:
 
         return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
-    db = make_engine(args)
-    if args.query:
-        try:
-            print(run_statement(db, args.query, args.explain, args.source))
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        return 0
-    repl(db)
-    return 0
+    tracer = metrics = None
+    if args.trace or args.analyze:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    db = make_engine(args, tracer=tracer, metrics=metrics)
+    sql = args.query
+    if args.paper_query:
+        if sql:
+            print("error: -q and --paper-query are exclusive", file=sys.stderr)
+            return 2
+        sql = ALL_EVALUATION_QUERIES[args.paper_query]
+    status = 0
+    try:
+        if sql:
+            try:
+                print(run_statement(
+                    db, sql, args.explain, args.source, args.analyze,
+                ))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                status = 1
+        else:
+            repl(db)
+    finally:
+        if tracer is not None and args.trace:
+            from .obs import write_chrome_trace
+
+            tracer.finish()
+            write_chrome_trace(args.trace, tracer)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if metrics is not None:
+            print(metrics.render_text(), file=sys.stderr)
+            metrics.write_json(args.metrics)
+            print(f"metrics written to {args.metrics}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -326,7 +326,8 @@ def predict_nested(system, prepared, probe_iterations: int = 4) -> NestedPredict
             correlated = []
     if len(correlated) != 1:
         # flat query, or stacked subqueries: measure by running in full
-        result = system.run_prepared(prepared)
+        # (observed=False keeps this probe out of traces and metrics)
+        result = system.run_prepared(prepared, observed=False)
         return NestedPrediction(
             outer_ms=result.stats.total_ms, hoist_ms=0.0, loop_ms=0.0,
             upper_ms=0.0, iterations=0, cache_hits=0, probed=0,
@@ -447,10 +448,18 @@ def _estimate_upper(system, plan: Plan, target: SubqueryFilter, s: int) -> float
 # ---------------------------------------------------------------------------
 
 
-def choose_execution_path(system, nested_prepared, unnested_prepared) -> str:
-    """Pick 'nested' or 'unnested' for a query that supports both."""
+def predict_paths(system, nested_prepared, unnested_prepared) -> tuple[float, float]:
+    """Predicted ms of device time for (nested, unnested) executions."""
     nested = predict_nested(system, nested_prepared)
     unnested_ns = estimate_flat_plan_ns(
         system.catalog, system.device_spec, unnested_prepared.plan
     )
-    return "nested" if nested.total_ms <= unnested_ns / 1e6 else "unnested"
+    return nested.total_ms, unnested_ns / 1e6
+
+
+def choose_execution_path(system, nested_prepared, unnested_prepared) -> str:
+    """Pick 'nested' or 'unnested' for a query that supports both."""
+    nested_ms, unnested_ms = predict_paths(
+        system, nested_prepared, unnested_prepared
+    )
+    return "nested" if nested_ms <= unnested_ms else "unnested"

@@ -18,12 +18,21 @@ from dataclasses import dataclass, field
 from ..engine import EngineOptions, ExecutionContext
 from ..errors import UnnestingError
 from ..gpu import Device, DeviceSpec, ExecutionStats
+from ..obs.tracer import NULL_TRACER
 from ..plan import Binder, PlanBuilder, try_exists_semijoin
 from ..plan.nodes import Scan
 from ..sql import parse
 from ..storage import Catalog
 from .codegen import DriveProgram, generate_drive_program
 from .runtime import Runtime, SubqueryProgram
+
+
+def _sql_snippet(sql: str, limit: int = 120) -> str:
+    """Collapse a statement to a single line short enough for span attrs."""
+    flat = " ".join(sql.split())
+    if len(flat) > limit:
+        flat = flat[: limit - 1] + "…"
+    return flat
 
 
 @dataclass
@@ -40,6 +49,20 @@ class QueryResult:
     cache_hits: int = 0
     cache_misses: int = 0
     predicted_ms: float | None = None
+    # observability (filled by run_prepared; cheap to collect always)
+    node_calls: dict[int, int] = field(default_factory=dict)
+    node_launches: dict[int, int] = field(default_factory=dict)
+    # vectorized-path per-node exclusive ns, keyed by id(plan node)
+    # (only populated when tracing/analyzing; see obs.analyze)
+    vector_node_ns: dict[int, float] = field(default_factory=dict)
+    subquery_iterations: dict[int, int] = field(default_factory=dict)
+    subquery_batches: dict[int, int] = field(default_factory=dict)
+    subquery_overhead_ns: dict[int, float] = field(default_factory=dict)
+    subquery_cache: dict[int, tuple[int, int]] = field(default_factory=dict)
+    preload_ns: float = 0.0
+    fetch_ns: float = 0.0
+    index_probes: int = 0
+    pool_restores: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -59,6 +82,9 @@ class PreparedQuery:
     plan: object
     program: DriveProgram
     choice: str
+    sql: str = ""
+    # cost-model prediction for the chosen path (auto mode only)
+    predicted_ms: float | None = None
 
 
 class NestGPU:
@@ -71,6 +97,8 @@ class NestGPU:
         options: EngineOptions | None = None,
         mode: str = "auto",
         magic_sets: bool = False,
+        tracer=None,
+        metrics=None,
     ):
         self.catalog = catalog
         self.device_spec = device or DeviceSpec.v100()
@@ -79,16 +107,32 @@ class NestGPU:
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
         self.magic_sets = magic_sets
+        # observability defaults; both overridable per call
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
 
     # -- public API ---------------------------------------------------------
 
-    def execute(self, sql: str, mode: str | None = None) -> QueryResult:
+    def execute(
+        self, sql: str, mode: str | None = None, tracer=None, metrics=None,
+    ) -> QueryResult:
         """Run a query, returning rows plus modelled execution stats."""
-        prepared = self.prepare(sql, mode)
-        return self.run_prepared(prepared)
+        tracer = self.tracer if tracer is None else tracer
+        query_span = None
+        if tracer.enabled:
+            query_span = tracer.begin("query", "query", sql=_sql_snippet(sql))
+        try:
+            prepared = self.prepare(sql, mode, tracer=tracer)
+            return self.run_prepared(prepared, tracer=tracer, metrics=metrics)
+        finally:
+            if query_span is not None:
+                tracer.end(query_span)
 
-    def prepare(self, sql: str, mode: str | None = None) -> PreparedQuery:
+    def prepare(
+        self, sql: str, mode: str | None = None, tracer=None,
+    ) -> PreparedQuery:
         """Parse, plan, and generate the drive program without running."""
+        tracer = self.tracer if tracer is None else tracer
         chosen = mode or self.mode
         stmt = parse(sql)
         block = Binder(self.catalog).bind(stmt)
@@ -98,32 +142,67 @@ class NestGPU:
             for descriptor in blk.subqueries
         )
         if not has_correlated:
-            return self._prepare_nested(sql, choice="flat")
+            return self._prepare_nested(sql, choice="flat", tracer=tracer)
         if chosen == "nested":
-            return self._prepare_nested(sql)
+            return self._prepare_nested(sql, tracer=tracer)
         if chosen == "unnested":
-            return self._prepare_unnested(sql)
+            return self._prepare_unnested(sql, tracer=tracer)
         # auto: ask the cost model; nested is the only option when the
         # query cannot be unnested
         try:
-            unnested = self._prepare_unnested(sql)
+            unnested = self._prepare_unnested(sql, tracer=tracer)
         except UnnestingError:
-            return self._prepare_nested(sql)
-        nested = self._prepare_nested(sql)
-        from .costmodel import choose_execution_path
+            return self._prepare_nested(sql, tracer=tracer)
+        nested = self._prepare_nested(sql, tracer=tracer)
+        from .costmodel import predict_paths
 
-        choice = choose_execution_path(self, nested, unnested)
-        return nested if choice == "nested" else unnested
+        with tracer.span("costmodel", "phase"):
+            nested_ms, unnested_ms = predict_paths(self, nested, unnested)
+        if nested_ms <= unnested_ms:
+            nested.predicted_ms = nested_ms
+            return nested
+        unnested.predicted_ms = unnested_ms
+        return unnested
 
-    def run_prepared(self, prepared: PreparedQuery) -> QueryResult:
-        device = Device(self.device_spec)
+    def run_prepared(
+        self,
+        prepared: PreparedQuery,
+        tracer=None,
+        metrics=None,
+        observed: bool = True,
+    ) -> QueryResult:
+        """Execute a prepared query on a fresh simulated device.
+
+        ``observed=False`` forces the no-op tracer and skips metrics —
+        used by the cost model's internal probe runs so they never
+        pollute a trace or the per-query log.
+        """
+        if observed:
+            tracer = self.tracer if tracer is None else tracer
+            metrics = self.metrics if metrics is None else metrics
+        else:
+            tracer, metrics = NULL_TRACER, None
+        device = Device(self.device_spec, tracer=tracer)
+        if tracer.enabled:
+            tracer.bind_device(device)
         ctx = ExecutionContext(self.catalog, device, self.options)
-        self._preload(ctx, prepared.program)
-        rel, runtime = self._execute_program(ctx, prepared.program)
+        if tracer.enabled:
+            ctx.profile_node_ns = {}
+        execute_span = None
+        if tracer.enabled:
+            execute_span = tracer.begin("execute", "phase", path=prepared.choice)
+        try:
+            with tracer.span("preload", "phase"):
+                self._preload(ctx, prepared.program)
+            preload_ns = device.stats.total_ns
+            rel, runtime = self._execute_program(ctx, prepared.program)
+        finally:
+            if execute_span is not None:
+                tracer.end(execute_span)
         rows = rel.decode_rows()
         cache_hits = sum(sp.cache.hits for sp in runtime.subprograms)
         cache_misses = sum(sp.cache.misses for sp in runtime.subprograms)
-        return QueryResult(
+        result = QueryResult(
             rows=rows,
             column_names=list(rel.columns),
             stats=device.snapshot(),
@@ -133,16 +212,46 @@ class NestGPU:
             node_output_rows=dict(runtime.node_output_rows),
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            predicted_ms=prepared.predicted_ms,
+            node_calls=dict(runtime.node_calls),
+            node_launches=dict(runtime.node_launches),
+            vector_node_ns=dict(ctx.profile_node_ns or {}),
+            subquery_iterations=dict(runtime.subquery_iterations),
+            subquery_batches=dict(runtime.subquery_batches),
+            subquery_overhead_ns=dict(runtime.subquery_overhead_ns),
+            subquery_cache={
+                sp.descriptor.index: (sp.cache.hits, sp.cache.misses)
+                for sp in runtime.subprograms
+            },
+            preload_ns=preload_ns,
+            fetch_ns=runtime.fetch_ns,
+            index_probes=ctx.index_probes,
+            pool_restores=ctx.pools.restores,
         )
+        if metrics is not None:
+            self._record_metrics(metrics, prepared, result)
+        return result
 
     def drive_source(self, sql: str, mode: str | None = None) -> str:
         """The generated drive program for a query (for inspection)."""
         return self.prepare(sql, mode).program.source
 
-    def explain(self, sql: str, mode: str | None = None) -> str:
+    def explain(
+        self, sql: str, mode: str | None = None, analyze: bool = False,
+    ) -> str:
         """A readable account of how a query would execute: the chosen
         path, the outer plan tree, and every subquery plan with its
-        transient/invariant marking."""
+        transient/invariant marking.
+
+        ``analyze=True`` *runs* the query and annotates the trees with
+        measured per-operator modelled time, output rows, kernel
+        launches and per-subquery loop statistics (EXPLAIN ANALYZE).
+        """
+        if analyze:
+            from ..obs.analyze import explain_analyze
+
+            tracer = self.tracer if self.tracer.enabled else None
+            return explain_analyze(self, sql, mode, tracer=tracer).render()
         from ..plan.invariants import mark_invariants
         from ..plan.nodes import explain as explain_plan
 
@@ -167,6 +276,62 @@ class NestGPU:
 
     # -- internals -----------------------------------------------------------
 
+    def _record_metrics(self, metrics, prepared: PreparedQuery,
+                        result: QueryResult) -> None:
+        """Fold one run into a :class:`~repro.obs.metrics.MetricsRegistry`."""
+        stats = result.stats
+        metrics.counter("queries.total").inc()
+        metrics.counter(f"queries.path.{prepared.choice}").inc()
+        metrics.counter("subquery.cache.hits").inc(result.cache_hits)
+        metrics.counter("subquery.cache.misses").inc(result.cache_misses)
+        probes = result.cache_hits + result.cache_misses
+        if probes:
+            metrics.gauge("subquery.cache.hit_ratio.last").set(
+                result.cache_hits / probes
+            )
+        metrics.counter("subquery.iterations").inc(
+            sum(result.subquery_iterations.values())
+        )
+        metrics.counter("subquery.batches").inc(
+            sum(result.subquery_batches.values())
+        )
+        metrics.counter("kernel.launches").inc(stats.kernel_launches)
+        for tag, count in stats.launches_by_tag.items():
+            metrics.counter(f"kernel.launches.{tag}").inc(count)
+        for tag, time_ns in stats.kernel_time_by_tag.items():
+            metrics.counter(f"kernel.time_ms.{tag}").inc(time_ns / 1e6)
+        metrics.counter("memory.pool_restores").inc(result.pool_restores)
+        metrics.counter("memory.raw_mallocs").inc(stats.malloc_calls)
+        metrics.gauge("memory.peak_device_bytes.last").set(
+            stats.peak_device_bytes
+        )
+        metrics.counter("index.probes").inc(result.index_probes)
+        metrics.histogram("query.total_ms").observe(result.total_ms)
+        metrics.histogram("query.transfer_fraction").observe(
+            stats.transfer_fraction
+        )
+        error_pct = None
+        if result.predicted_ms is not None and result.total_ms > 0:
+            error_pct = (
+                (result.predicted_ms - result.total_ms) / result.total_ms * 100.0
+            )
+            metrics.histogram("costmodel.abs_error_pct").observe(abs(error_pct))
+        metrics.record_query(
+            sql=_sql_snippet(prepared.sql),
+            path=prepared.choice,
+            total_ms=result.total_ms,
+            predicted_ms=result.predicted_ms,
+            predicted_error_pct=error_pct,
+            rows=result.num_rows,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            kernel_launches=stats.kernel_launches,
+            transfer_fraction=stats.transfer_fraction,
+            index_probes=result.index_probes,
+            pool_restores=result.pool_restores,
+            raw_mallocs=stats.malloc_calls,
+        )
+
     @staticmethod
     def _node_depth_map(plan) -> dict[int, int]:
         depths: dict[int, int] = {}
@@ -179,28 +344,40 @@ class NestGPU:
         visit(plan, 0)
         return depths
 
-    def _prepare_nested(self, sql: str, choice: str = "nested") -> PreparedQuery:
-        stmt = parse(sql)
-        block = Binder(self.catalog).bind(stmt)
-        builder = PlanBuilder(self.catalog)
-        plan = builder.build(block)
-        # the EXISTS -> semi-join fast path (paper: Q4) is part of the
-        # nested engine's plan-level optimizations; re-prune because the
-        # rewrite introduces fresh scans
-        plan = try_exists_semijoin(plan, block)
-        from ..plan.optimizer import prune_scan_columns
+    def _prepare_nested(
+        self, sql: str, choice: str = "nested", tracer=NULL_TRACER,
+    ) -> PreparedQuery:
+        with tracer.span("parse", "phase", path=choice):
+            stmt = parse(sql)
+        with tracer.span("bind", "phase", path=choice):
+            block = Binder(self.catalog).bind(stmt)
+        with tracer.span("plan", "phase", path=choice):
+            builder = PlanBuilder(self.catalog)
+            plan = builder.build(block)
+            # the EXISTS -> semi-join fast path (paper: Q4) is part of the
+            # nested engine's plan-level optimizations; re-prune because the
+            # rewrite introduces fresh scans
+            plan = try_exists_semijoin(plan, block)
+            from ..plan.optimizer import prune_scan_columns
 
-        prune_scan_columns(plan, self.catalog)
-        program = generate_drive_program(builder, plan)
-        return PreparedQuery(block, plan, program, choice)
+            prune_scan_columns(plan, self.catalog)
+        with tracer.span("codegen", "phase", path=choice):
+            program = generate_drive_program(builder, plan)
+        return PreparedQuery(block, plan, program, choice, sql=sql)
 
-    def _prepare_unnested(self, sql: str) -> PreparedQuery:
-        stmt = parse(sql)
-        block = Binder(self.catalog).bind(stmt)
-        builder = PlanBuilder(self.catalog, unnest=True, magic_sets=self.magic_sets)
-        plan = builder.build(block)
-        program = generate_drive_program(builder, plan)
-        return PreparedQuery(block, plan, program, "unnested")
+    def _prepare_unnested(self, sql: str, tracer=NULL_TRACER) -> PreparedQuery:
+        with tracer.span("parse", "phase", path="unnested"):
+            stmt = parse(sql)
+        with tracer.span("bind", "phase", path="unnested"):
+            block = Binder(self.catalog).bind(stmt)
+        with tracer.span("plan", "phase", path="unnested"):
+            builder = PlanBuilder(
+                self.catalog, unnest=True, magic_sets=self.magic_sets
+            )
+            plan = builder.build(block)
+        with tracer.span("codegen", "phase", path="unnested"):
+            program = generate_drive_program(builder, plan)
+        return PreparedQuery(block, plan, program, "unnested", sql=sql)
 
     def _execute_program(self, ctx, program: DriveProgram):
         subprograms = [

@@ -142,26 +142,62 @@ class Runtime:
 
     def __init__(self, ctx, nodes: list[Plan], subqueries: list[SubqueryProgram]):
         self.ctx = ctx
+        self.tracer = ctx.tracer
         self.nodes = nodes
         self.subprograms = subqueries
         self.node_times_ns: dict[int, float] = {}
         self.node_output_rows: dict[int, int] = {}
+        self.node_calls: dict[int, int] = {}
+        self.node_launches: dict[int, int] = {}
+        # per-subquery loop accounting, keyed by descriptor.index
+        self.subquery_iterations: dict[int, int] = {}
+        self.subquery_batches: dict[int, int] = {}
+        # modelled ns spent outside operators on behalf of a subquery:
+        # invariant hoisting, parameter transfer, uncorrelated eval
+        self.subquery_overhead_ns: dict[int, float] = {}
+        self.fetch_ns = 0.0
 
     # -- timing -------------------------------------------------------------
 
     def _timed(self, node_id: int, fn):
-        before = self.ctx.device.stats.total_ns
-        result = fn()
-        self.node_times_ns[node_id] = (
-            self.node_times_ns.get(node_id, 0.0)
-            + self.ctx.device.stats.total_ns
-            - before
-        )
+        stats = self.ctx.device.stats
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            node = self.nodes[node_id]
+            span = tracer.begin(
+                type(node).__name__, "operator", node_id=node_id
+            )
+        before_ns = stats.total_ns
+        before_launches = stats.kernel_launches
+        try:
+            result = fn()
+        finally:
+            self.node_times_ns[node_id] = (
+                self.node_times_ns.get(node_id, 0.0)
+                + stats.total_ns - before_ns
+            )
+            self.node_calls[node_id] = self.node_calls.get(node_id, 0) + 1
+            self.node_launches[node_id] = (
+                self.node_launches.get(node_id, 0)
+                + stats.kernel_launches - before_launches
+            )
+            if span is not None:
+                tracer.end(span)
         if isinstance(result, Relation):
             self.node_output_rows[node_id] = (
                 self.node_output_rows.get(node_id, 0) + result.num_rows
             )
+            if span is not None:
+                span.set_attrs(rows=result.num_rows)
         return result
+
+    def _add_overhead(self, sp: SubqueryProgram, before_ns: float) -> None:
+        key = sp.descriptor.index
+        self.subquery_overhead_ns[key] = (
+            self.subquery_overhead_ns.get(key, 0.0)
+            + self.ctx.device.stats.total_ns - before_ns
+        )
 
     # -- flat operators (outer plan) ---------------------------------------
 
@@ -220,10 +256,13 @@ class Runtime:
 
     def limit(self, node_id: int, rel: Relation) -> Relation:
         node = self.nodes[node_id]
-        return ops.limit(self.ctx, rel, node.count)
+        return self._timed(node_id, lambda: ops.limit(self.ctx, rel, node.count))
 
     def fetch(self, rel: Relation) -> Relation:
-        return ops.fetch_result(self.ctx, rel)
+        before = self.ctx.device.stats.total_ns
+        result = ops.fetch_result(self.ctx, rel)
+        self.fetch_ns += self.ctx.device.stats.total_ns - before
+        return result
 
     def rows(self, rel: Relation) -> int:
         return rel.num_rows
@@ -231,7 +270,21 @@ class Runtime:
     # -- subquery machinery ---------------------------------------------------
 
     def subquery(self, index: int) -> SubqueryProgram:
-        return self.subprograms[index]
+        sp = self.subprograms[index]
+        tracer = self.tracer
+        if tracer.enabled:
+            # a subquery span has no explicit end hook in the generated
+            # program: the next sibling subquery (or the predicate /
+            # column application) closes it
+            tracer.close_siblings("subquery")
+            descriptor = sp.descriptor
+            tracer.begin(
+                f"subquery #{descriptor.index}", "subquery",
+                index=descriptor.index, kind=descriptor.kind,
+                params=list(descriptor.free_quals),
+                vectorized=sp.vectorized,
+            )
+        return sp
 
     def correlated_values(
         self,
@@ -246,6 +299,7 @@ class Runtime:
         Quals not present in ``outer`` belong to an enclosing loop
         level and are broadcast from its environment (Figure 6).
         """
+        before = self.ctx.device.stats.total_ns
         values = {}
         for qual in sp.param_quals:
             if qual in outer:
@@ -258,10 +312,18 @@ class Runtime:
                 raise ExecutionError(
                     f"correlated parameter {qual} unavailable in this scope"
                 )
+        self._add_overhead(sp, before)
         return values
 
     def uncorrelated_vector(self, outer: Relation, sp: SubqueryProgram):
         """Type-A/N subquery: evaluate once, broadcast into a vector."""
+        before = self.ctx.device.stats.total_ns
+        try:
+            return self._uncorrelated_vector(outer, sp)
+        finally:
+            self._add_overhead(sp, before)
+
+    def _uncorrelated_vector(self, outer: Relation, sp: SubqueryProgram):
         inner = run_plan(self.ctx, sp.plan)
         if sp.descriptor.kind == "exists":
             vector = ExistsResultVector(outer.num_rows)
@@ -302,7 +364,19 @@ class Runtime:
         return vector
 
     def eval_invariants(self, sp: SubqueryProgram, outer: Relation) -> None:
-        sp.eval_invariants(outer.num_rows)
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                "invariant hoisting", "operator", subquery=sp.descriptor.index
+            )
+        before = self.ctx.device.stats.total_ns
+        try:
+            sp.eval_invariants(outer.num_rows)
+        finally:
+            self._add_overhead(sp, before)
+            if span is not None:
+                tracer.end(span)
 
     # pools -------------------------------------------------------------
 
@@ -324,6 +398,13 @@ class Runtime:
     def param_env(
         self, sp: SubqueryProgram, corr: dict[str, np.ndarray], i: int
     ) -> dict[str, float]:
+        key = sp.descriptor.index
+        self.subquery_iterations[key] = self.subquery_iterations.get(key, 0) + 1
+        tracer = self.tracer
+        if tracer.enabled:
+            # closed by the store_* that finishes this iteration
+            tracer.end_iteration()
+            tracer.begin(f"iteration {i}", "iteration", i=i, subquery=key)
         return {qual: corr[qual][i] for qual in sp.param_quals}
 
     def cache_get(self, sp: SubqueryProgram, env: dict[str, float]):
@@ -335,7 +416,8 @@ class Runtime:
         sp.cache.put(key, value, valid)
 
     def t_scan(self, sp: SubqueryProgram, node_id: int, env) -> Relation:
-        return self._t_scan(sp, self.nodes[node_id], env)
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: self._t_scan(sp, node, env))
 
     def _t_scan(self, sp: SubqueryProgram, node: Scan, env) -> Relation:
         """Transient scan: base rows + the correlated predicate.
@@ -352,6 +434,7 @@ class Runtime:
                 key_col, qual = eq
                 index = sp.scan_index(node, base, key_col)
                 if index is not None:
+                    self.ctx.index_probes += 1
                     rows = index.lookup(self.ctx.device, env[qual])
                     rel = rel.take_no_charge(rows)
                     ops._materialize(self.ctx, rel)
@@ -363,7 +446,10 @@ class Runtime:
     def t_join(
         self, sp: SubqueryProgram, node_id: int, left: Relation, right: Relation, env
     ) -> Relation:
-        return self._t_join(sp, self.nodes[node_id], left, right, env)
+        node = self.nodes[node_id]
+        return self._timed(
+            node_id, lambda: self._t_join(sp, node, left, right, env)
+        )
 
     def _t_join(
         self, sp: SubqueryProgram, node: Join, left: Relation, right: Relation, env
@@ -398,7 +484,9 @@ class Runtime:
 
     def t_filter(self, sp, node_id: int, rel: Relation, env) -> Relation:
         node = self.nodes[node_id]
-        return ops.filter_rel(self.ctx, rel, node.predicate, env)
+        return self._timed(
+            node_id, lambda: ops.filter_rel(self.ctx, rel, node.predicate, env)
+        )
 
     def t_aggregate(self, sp, node_id: int, rel: Relation, env) -> Relation:
         node = self.nodes[node_id]
@@ -408,10 +496,18 @@ class Runtime:
 
     def t_project(self, sp, node_id: int, rel: Relation, env) -> Relation:
         node = self.nodes[node_id]
-        return ops.project(self.ctx, rel, node.exprs, node.names)
+        return self._timed(
+            node_id, lambda: ops.project(self.ctx, rel, node.exprs, node.names)
+        )
 
     def invariant(self, sp: SubqueryProgram, node_id: int) -> Relation:
-        return sp.invariant_relation(self.nodes[node_id])
+        node = self.nodes[node_id]
+        if id(node) in sp._invariant_memo:
+            # hoisted: already evaluated (and charged) before the loop
+            return sp.invariant_relation(node)
+        # extraction disabled (ablation): re-evaluated per call, so the
+        # cost belongs to this node
+        return self._timed(node_id, lambda: sp.invariant_relation(node))
 
     def run_iteration(self, sp: SubqueryProgram, env: dict[str, float]):
         """One subquery iteration by direct plan walk.
@@ -464,12 +560,15 @@ class Runtime:
 
     def store_scalar(self, vector: ScalarResultVector, i: int, value, valid) -> None:
         vector.store(i, value, valid)
+        self.tracer.end_iteration(cache_hit=False)
 
     def store_exists(self, vector: ExistsResultVector, i: int, flag: bool) -> None:
         vector.store(i, flag)
+        self.tracer.end_iteration(cache_hit=False)
 
     def store_values(self, vector: TwoLevelResultVector, i, values) -> None:
         vector.store(i, values)
+        self.tracer.end_iteration()
 
     def store_cached(self, vector, i: int, hit: tuple[float, bool]) -> None:
         value, valid = hit
@@ -477,6 +576,9 @@ class Runtime:
             vector.store(i, bool(value) and valid)
         else:
             vector.store(i, value, valid)
+        # in the loop path this ends the iteration; called from inside a
+        # batch span, end_iteration hits the batch boundary and no-ops
+        self.tracer.end_iteration(cache_hit=True)
 
     # vectorized path ----------------------------------------------------
 
@@ -489,11 +591,33 @@ class Runtime:
         vector,
     ) -> None:
         """One fused batch: cache probe, dedupe, segmented evaluation."""
+        key = sp.descriptor.index
+        self.subquery_batches[key] = self.subquery_batches.get(key, 0) + 1
+        self.subquery_iterations[key] = (
+            self.subquery_iterations.get(key, 0) + (hi - lo)
+        )
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(
+                f"batch [{lo}:{hi}]", "batch", subquery=key, rows=hi - lo
+            )
+        try:
+            self._run_vector_batch(sp, corr, lo, hi, vector, span)
+        finally:
+            if span is not None:
+                tracer.end(span)
+
+    def _run_vector_batch(self, sp, corr, lo, hi, vector, span) -> None:
         rows = np.arange(lo, hi)
         keys = list(
             zip(*(corr[q][lo:hi].tolist() for q in sp.param_quals))
         )
         hit_rows, hit_values, miss_rows = sp.cache.probe_batch(keys)
+        if span is not None:
+            span.set_attrs(
+                cache_hits=len(hit_rows), cache_misses=len(miss_rows)
+            )
         for row, (value, valid) in zip(hit_rows, hit_values):
             self.store_cached(vector, lo + row, (value, valid))
         if not miss_rows:
@@ -528,6 +652,7 @@ class Runtime:
         Invalid (NULL) scalars stay NaN, which decodes as NaN — the
         library's NULL representation for computed columns.
         """
+        self.tracer.close_siblings("subquery")
         node = self.nodes[node_id]
 
         def run():
@@ -559,6 +684,7 @@ class Runtime:
         place of the ``SUBQ`` operand(s) (paper Figure 4's final
         selection).  ``vectors`` maps subquery index -> result vector.
         """
+        self.tracer.close_siblings("subquery")
         node = self.nodes[node_id]
         return self._timed(
             node_id, lambda: self._apply_predicate(node, outer, vectors)

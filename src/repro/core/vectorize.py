@@ -141,6 +141,28 @@ def _require_seg(result) -> SegRelation:
 
 
 def _eval(sp, node: Plan, batch, num_segments):
+    profile = sp.ctx.profile_node_ns
+    if profile is None:
+        return _eval_node(sp, node, batch, num_segments)
+    # profiling: attribute each node's *exclusive* modelled time, using
+    # a child-time side channel across the recursion (the device clock
+    # only gives inclusive deltas)
+    ctx = sp.ctx
+    stats = ctx.device.stats
+    before = stats.total_ns
+    saved_children = ctx._profile_child_ns
+    ctx._profile_child_ns = 0.0
+    try:
+        result = _eval_node(sp, node, batch, num_segments)
+    finally:
+        inclusive = stats.total_ns - before
+        exclusive = inclusive - ctx._profile_child_ns
+        profile[id(node)] = profile.get(id(node), 0.0) + exclusive
+        ctx._profile_child_ns = saved_children + inclusive
+    return result
+
+
+def _eval_node(sp, node: Plan, batch, num_segments):
     if not sp.info.is_transient(node):
         return sp.invariant_relation(node)
     if isinstance(node, Scan):
@@ -178,6 +200,7 @@ def _eval_scan(sp, node: Scan, batch, num_segments) -> SegRelation:
 
     index = sp.scan_index(node, base, key_col)
     if index is not None:
+        sp.ctx.index_probes += len(params)
         rows, seg = index.lookup_batch(sp.ctx.device, params)
     else:
         # unindexed: one fused kernel doing B scans over the base

@@ -51,8 +51,15 @@ class ExecutionContext:
         self.catalog = catalog
         self.device = device
         self.options = options or EngineOptions()
+        self.tracer = device.tracer
         self.pools = PoolSet(device)
         self.raw_alloc = RawDeviceAllocator(device)
+        # observability side channels — never charge the device clock
+        self.index_probes = 0
+        # per-node exclusive modelled ns for the vectorized evaluator,
+        # keyed by id(plan node); None keeps profiling off (default)
+        self.profile_node_ns: dict[int, float] | None = None
+        self._profile_child_ns = 0.0
         # residency of base-table columns: (table, column) -> bytes
         self._resident: dict[tuple[str, str], int] = {}
         self._resident_order: list[tuple[str, str]] = []

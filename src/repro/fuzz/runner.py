@@ -9,6 +9,7 @@ artifact directory::
         query.sql     the original failing query
         minimal.sql   the shrunk reproducer (with --shrink)
         meta.json     seed, index, scale, matrix, failing configs
+        trace.json    Chrome trace of the nested run (with --trace)
 
 Replaying: ``repro fuzz --replay <dir-or-.sql>`` re-runs the saved
 query through the same matrix (scale and matrix are read from
@@ -95,6 +96,7 @@ def run_campaign(
     catalog: Catalog | None = None,
     runner: DifferentialRunner | None = None,
     log=None,
+    do_trace: bool = False,
 ) -> CampaignResult:
     """Run ``iterations`` fuzzed queries; optionally shrink failures."""
     started = time.monotonic()
@@ -129,8 +131,36 @@ def run_campaign(
             case.artifact_dir = write_artifact(
                 Path(out_dir), campaign, case
             )
+            if do_trace:
+                write_case_trace(
+                    catalog, query.sql, case.artifact_dir / "trace.json"
+                )
     campaign.elapsed_s = time.monotonic() - started
     return campaign
+
+
+def write_case_trace(catalog: Catalog, sql: str, path: Path) -> None:
+    """Re-run a failing query under the tracer and save a Chrome trace
+    next to the reproducer.
+
+    A failing case may die mid-execution — the partial trace (whatever
+    spans were reached) is still written, which is exactly what makes
+    it useful for debugging; only the export itself is allowed to fail
+    silently.
+    """
+    from ..core import NestGPU
+    from ..obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    try:
+        NestGPU(catalog, tracer=tracer).execute(sql, mode="nested")
+    except Exception:
+        pass  # the differential runner already recorded the failure
+    try:
+        tracer.finish()
+        write_chrome_trace(path, tracer)
+    except Exception:
+        pass
 
 
 def _shrink_case(query: FuzzQuery, runner: DifferentialRunner) -> str:
@@ -236,6 +266,10 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         help="artifact directory for failing cases (default: fuzz-failures)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="save a Chrome trace JSON (nested path) with each failing case",
+    )
+    parser.add_argument(
         "--replay", metavar="PATH",
         help="re-run a saved .sql reproducer or artifact directory and exit",
     )
@@ -271,6 +305,7 @@ def fuzz_main(argv: list[str] | None = None, stdout=None) -> int:
         do_shrink=args.shrink,
         out_dir=args.out,
         log=log if args.verbose else None,
+        do_trace=args.trace,
     )
     log(f"fuzz: {campaign.summary()}")
     if campaign.failures:

@@ -12,15 +12,23 @@ from __future__ import annotations
 import math
 
 from ..errors import DeviceMemoryError
+from ..obs.tracer import NULL_TRACER
 from .spec import DeviceSpec
 from .stats import ExecutionStats
 
 
 class Device:
-    """A simulated GPU accumulating modelled time and memory usage."""
+    """A simulated GPU accumulating modelled time and memory usage.
 
-    def __init__(self, spec: DeviceSpec):
+    A :class:`~repro.obs.tracer.Tracer` may be attached; every charge
+    then also records a leaf span on the modelled clock.  The default
+    is the no-op tracer, so untraced runs pay one ``enabled`` check per
+    charge and their modelled times are bit-identical.
+    """
+
+    def __init__(self, spec: DeviceSpec, tracer=None):
         self.spec = spec
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.stats = ExecutionStats()
         self._in_use = 0
 
@@ -55,6 +63,11 @@ class Device:
         if raw:
             self.stats.malloc_calls += 1
             self.stats.malloc_time_ns += self.spec.malloc_overhead_ns
+            if self.tracer.enabled:
+                self.tracer.leaf(
+                    "malloc", "malloc", self.spec.malloc_overhead_ns,
+                    bytes=nbytes,
+                )
         return nbytes
 
     def free(self, nbytes: int, raw: bool = False) -> None:
@@ -85,6 +98,8 @@ class Device:
             self.stats.kernel_time_by_tag.get(tag, 0.0) + time_ns
         )
         self.stats.launches_by_tag[tag] = self.stats.launches_by_tag.get(tag, 0) + 1
+        if self.tracer.enabled:
+            self.tracer.leaf(tag, "kernel", time_ns, elements=elements)
         return time_ns
 
     def materialize(self, nbytes: int) -> float:
@@ -92,6 +107,8 @@ class Device:
         time_ns = nbytes * self.spec.materialize_ns_per_byte
         self.stats.materialize_bytes += nbytes
         self.stats.materialize_time_ns += time_ns
+        if self.tracer.enabled:
+            self.tracer.leaf("materialize", "materialize", time_ns, bytes=nbytes)
         return time_ns
 
     # -- transfers ----------------------------------------------------------
@@ -101,6 +118,8 @@ class Device:
         time_ns = nbytes / self.spec.pcie_bytes_per_ns
         self.stats.h2d_bytes += nbytes
         self.stats.h2d_time_ns += time_ns
+        if self.tracer.enabled:
+            self.tracer.leaf("h2d", "transfer", time_ns, bytes=nbytes)
         return time_ns
 
     def transfer_d2h(self, nbytes: int) -> float:
@@ -108,6 +127,8 @@ class Device:
         time_ns = nbytes / self.spec.pcie_bytes_per_ns
         self.stats.d2h_bytes += nbytes
         self.stats.d2h_time_ns += time_ns
+        if self.tracer.enabled:
+            self.tracer.leaf("d2h", "transfer", time_ns, bytes=nbytes)
         return time_ns
 
     # -- bookkeeping ----------------------------------------------------------
@@ -119,3 +140,6 @@ class Device:
     def reset(self) -> None:
         """Clear the clock and counters; memory accounting is kept."""
         self.stats = ExecutionStats()
+        if self.tracer.enabled:
+            # rebase so a trace spanning the reset stays monotonic
+            self.tracer.bind_device(self)

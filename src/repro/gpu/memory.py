@@ -107,6 +107,9 @@ class PoolSet:
         self.meta = MemoryPool(device, "meta", host_side=True)
         self.intermediate = MemoryPool(device, "intermediate")
         self.inter_kernel = MemoryPool(device, "inter_kernel")
+        # observability: how many times iteration space was reclaimed by
+        # rewinding the tails (vs. raw malloc/free in the pool-less mode)
+        self.restores = 0
 
     def mark_all(self) -> tuple[PoolMark, PoolMark]:
         """Marks for the pools that survive across operators."""
@@ -116,6 +119,7 @@ class PoolSet:
         meta_mark, inter_mark = marks
         self.meta.restore(meta_mark)
         self.intermediate.restore(inter_mark)
+        self.restores += 1
 
     def clear_inter_kernel(self) -> None:
         """Called after every operator (paper: tail = head)."""

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+#: Fields that are instantaneous *levels* (high-water marks), not
+#: accumulated flows.  ``minus`` carries the later snapshot's value
+#: through instead of subtracting: a peak is a maximum over the whole
+#: run, so the peak *between* two snapshots is not recoverable from the
+#: endpoints — the later high-water mark is the conservative answer.
+_LEVEL_FIELDS = frozenset({"peak_device_bytes"})
 
 
 @dataclass
@@ -52,38 +59,47 @@ class ExecutionStats:
         return self.transfer_time_ns / total if total else 0.0
 
     def copy(self) -> "ExecutionStats":
-        clone = ExecutionStats(**{
-            k: v for k, v in self.__dict__.items()
-            if k not in ("kernel_time_by_tag", "launches_by_tag")
-        })
-        clone.kernel_time_by_tag = dict(self.kernel_time_by_tag)
-        clone.launches_by_tag = dict(self.launches_by_tag)
+        clone = ExecutionStats()
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            setattr(
+                clone, spec.name,
+                dict(value) if isinstance(value, dict) else value,
+            )
         return clone
 
     def minus(self, earlier: "ExecutionStats") -> "ExecutionStats":
-        """The activity between ``earlier`` and this snapshot."""
-        diff = ExecutionStats(
-            kernel_launches=self.kernel_launches - earlier.kernel_launches,
-            kernel_time_ns=self.kernel_time_ns - earlier.kernel_time_ns,
-            materialize_bytes=self.materialize_bytes - earlier.materialize_bytes,
-            materialize_time_ns=self.materialize_time_ns - earlier.materialize_time_ns,
-            h2d_bytes=self.h2d_bytes - earlier.h2d_bytes,
-            h2d_time_ns=self.h2d_time_ns - earlier.h2d_time_ns,
-            d2h_bytes=self.d2h_bytes - earlier.d2h_bytes,
-            d2h_time_ns=self.d2h_time_ns - earlier.d2h_time_ns,
-            malloc_calls=self.malloc_calls - earlier.malloc_calls,
-            malloc_time_ns=self.malloc_time_ns - earlier.malloc_time_ns,
-            peak_device_bytes=self.peak_device_bytes,
-        )
-        for tag, value in self.kernel_time_by_tag.items():
-            delta = value - earlier.kernel_time_by_tag.get(tag, 0.0)
-            if delta:
-                diff.kernel_time_by_tag[tag] = delta
-        for tag, value in self.launches_by_tag.items():
-            delta = value - earlier.launches_by_tag.get(tag, 0)
-            if delta:
-                diff.launches_by_tag[tag] = delta
+        """The activity between ``earlier`` and this snapshot.
+
+        Driven by ``dataclasses.fields()`` so a newly added counter is
+        diffed automatically: scalars subtract, per-tag dicts subtract
+        tag-wise (zero deltas dropped), and level fields
+        (``_LEVEL_FIELDS``) keep this snapshot's value.
+        """
+        diff = ExecutionStats()
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in _LEVEL_FIELDS:
+                setattr(diff, spec.name, value)
+            elif isinstance(value, dict):
+                delta_map = {}
+                prior = getattr(earlier, spec.name)
+                for tag, amount in value.items():
+                    delta = amount - prior.get(tag, type(amount)())
+                    if delta:
+                        delta_map[tag] = delta
+                setattr(diff, spec.name, delta_map)
+            else:
+                setattr(diff, spec.name, value - getattr(earlier, spec.name))
         return diff
+
+    def to_dict(self) -> dict:
+        """Every field, dicts copied — for metrics dumps and JSON."""
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = dict(value) if isinstance(value, dict) else value
+        return out
 
     def breakdown(self) -> dict[str, float]:
         """Milliseconds by category, for reports."""

@@ -1,0 +1,32 @@
+"""Observability: span tracing, metrics, exporters, EXPLAIN ANALYZE.
+
+This package depends only on the standard library (plus duck-typed
+engine objects), so any layer — the simulated device included — may
+import it without cycles.  :mod:`repro.obs.analyze` (EXPLAIN ANALYZE)
+is imported lazily by its callers to keep that property.
+"""
+
+from .export import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_TRACER,
+    STRUCTURAL_CATEGORIES,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "STRUCTURAL_CATEGORIES",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,84 @@
+"""Trace exporters.
+
+:func:`to_chrome_trace` renders a tracer's span forest in the Chrome
+trace-event format (the ``traceEvents`` array Perfetto and
+``chrome://tracing`` load directly): structural spans become nested
+``B``/``E`` begin/end pairs, leaf device events (kernels, transfers,
+materialization) become ``X`` complete events.  Timestamps are the
+modelled device clock converted from nanoseconds to the format's
+microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import STRUCTURAL_CATEGORIES, Span, Tracer
+
+
+def _json_safe(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def _args(span: Span) -> dict:
+    args = {k: _json_safe(v) for k, v in (span.attrs or {}).items()}
+    if span.kernel_launches:
+        args["kernel_launches"] = span.kernel_launches
+    return args
+
+
+def chrome_trace_events(roots: list[Span], pid: int = 0, tid: int = 0) -> list[dict]:
+    events: list[dict] = []
+
+    def visit(span: Span) -> None:
+        end_ns = span.start_ns if span.end_ns is None else span.end_ns
+        if span.category in STRUCTURAL_CATEGORIES:
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "B",
+                "ts": span.start_ns / 1e3, "pid": pid, "tid": tid,
+                "args": _args(span),
+            })
+            for child in span.children:
+                visit(child)
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "E",
+                "ts": end_ns / 1e3, "pid": pid, "tid": tid,
+            })
+        else:
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "X",
+                "ts": span.start_ns / 1e3, "dur": (end_ns - span.start_ns) / 1e3,
+                "pid": pid, "tid": tid, "args": _args(span),
+            })
+
+    for root in roots:
+        visit(root)
+    return events
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The complete Perfetto-loadable trace document."""
+    return {
+        "traceEvents": chrome_trace_events(tracer.roots),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "modelled-device-ns",
+            "dropped_spans": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(path, tracer: Tracer) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(tracer), handle)
+        handle.write("\n")

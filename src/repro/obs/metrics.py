@@ -1,0 +1,157 @@
+"""A small metrics registry: counters, gauges, histograms, query log.
+
+The registry is engine-agnostic state the executor fills in after each
+run: cache hit ratios, pool reuse vs. raw mallocs, index probes, PCIe
+transfer fractions, and the cost model's predicted-vs-actual error per
+query (the Figure 15/16 accuracy data, recomputable from any session's
+dump).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max over observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus a per-query log, dumpable as JSON or text."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.query_log: list[dict] = []
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def record_query(self, **entry) -> None:
+        """Append one query's summary (sql, path, predicted/actual ms, ...)."""
+        self.query_log.append(entry)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+            "queries": list(self.query_log),
+        }
+
+    def render_text(self) -> str:
+        """An aligned plain-text dump for terminals and logs."""
+        lines = ["metrics:"]
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"  {name:<40s} {counter.value:>14g}")
+        for name, gauge in sorted(self._gauges.items()):
+            if gauge.value is not None:
+                lines.append(f"  {name:<40s} {gauge.value:>14g}")
+        for name, hist in sorted(self._histograms.items()):
+            lines.append(
+                f"  {name:<40s} n={hist.count} mean={hist.mean:.4g}"
+                f" min={hist.min if hist.count else 0:.4g}"
+                f" max={hist.max if hist.count else 0:.4g}"
+            )
+        if self.query_log:
+            lines.append("queries:")
+            for entry in self.query_log:
+                predicted = entry.get("predicted_ms")
+                predicted_text = (
+                    f" predicted={predicted:.3f}ms" if predicted is not None else ""
+                )
+                lines.append(
+                    f"  [{entry.get('path', '?'):<8s}]"
+                    f" {entry.get('total_ms', 0.0):.3f}ms"
+                    f"{predicted_text} rows={entry.get('rows')}"
+                    f" :: {entry.get('sql', '')}"
+                )
+        return "\n".join(lines)
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=_json_default)
+            handle.write("\n")
+
+
+def _json_default(value):
+    """Last-resort JSON coercion (numpy scalars and friends)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)

@@ -114,3 +114,29 @@ class TestCachingEndToEnd:
         assert slow.cache_hits == 0
         assert slow.total_ms > fast.total_ms
         assert sorted(map(repr, slow.rows)) == sorted(map(repr, fast.rows))
+
+
+class TestHitRatio:
+    def test_zero_before_first_probe(self):
+        from repro.core.caching import SubqueryCache
+
+        assert SubqueryCache().hit_ratio == 0.0
+
+    def test_tracks_probes(self):
+        from repro.core.caching import SubqueryCache
+
+        cache = SubqueryCache(namespace=0)
+        assert cache.get((1,)) is None
+        cache.put((1,), 2.0, True)
+        assert cache.get((1,)) == (2.0, True)
+        assert cache.hit_ratio == 0.5
+
+    def test_disabled_cache_never_hits(self):
+        from repro.core.caching import SubqueryCache
+
+        cache = SubqueryCache(enabled=False)
+        cache.get((1,))  # scalar-loop probes count as evaluations
+        cache.probe_batch([(1,), (2,)])  # batch path reports rows only
+        assert cache.hit_ratio == 0.0
+        assert cache.hits == 0
+        assert cache.misses == 1

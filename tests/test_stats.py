@@ -1,0 +1,105 @@
+"""ExecutionStats arithmetic: copy, minus, and derived fractions."""
+
+from dataclasses import fields
+
+from repro.gpu import ExecutionStats
+from repro.gpu.stats import _LEVEL_FIELDS
+
+
+def _sample() -> ExecutionStats:
+    stats = ExecutionStats(
+        kernel_launches=5,
+        kernel_time_ns=1000.0,
+        materialize_bytes=64,
+        materialize_time_ns=200.0,
+        h2d_bytes=128,
+        h2d_time_ns=300.0,
+        d2h_bytes=32,
+        d2h_time_ns=100.0,
+        malloc_calls=2,
+        malloc_time_ns=50.0,
+        peak_device_bytes=4096,
+    )
+    stats.kernel_time_by_tag = {"sort": 600.0, "scan_compare": 400.0}
+    stats.launches_by_tag = {"sort": 2, "scan_compare": 3}
+    return stats
+
+
+class TestCopy:
+    def test_copy_equals_original(self):
+        stats = _sample()
+        clone = stats.copy()
+        for spec in fields(stats):
+            assert getattr(clone, spec.name) == getattr(stats, spec.name)
+
+    def test_copy_is_independent(self):
+        stats = _sample()
+        clone = stats.copy()
+        clone.kernel_launches += 1
+        clone.kernel_time_by_tag["sort"] += 1.0
+        clone.launches_by_tag["new_tag"] = 9
+        assert stats.kernel_launches == 5
+        assert stats.kernel_time_by_tag["sort"] == 600.0
+        assert "new_tag" not in stats.launches_by_tag
+
+
+class TestMinus:
+    def test_scalar_deltas(self):
+        earlier = _sample()
+        later = earlier.copy()
+        later.kernel_launches += 3
+        later.kernel_time_ns += 500.0
+        later.h2d_bytes += 64
+        diff = later.minus(earlier)
+        assert diff.kernel_launches == 3
+        assert diff.kernel_time_ns == 500.0
+        assert diff.h2d_bytes == 64
+        assert diff.materialize_time_ns == 0.0
+
+    def test_tag_dict_deltas_drop_zero(self):
+        earlier = _sample()
+        later = earlier.copy()
+        later.kernel_time_by_tag["sort"] += 250.0
+        later.launches_by_tag["sort"] += 1
+        later.launches_by_tag["hash_build"] = 4  # new tag
+        diff = later.minus(earlier)
+        # unchanged tags are dropped, changed and new tags survive
+        assert diff.kernel_time_by_tag == {"sort": 250.0}
+        assert diff.launches_by_tag == {"sort": 1, "hash_build": 4}
+
+    def test_peak_is_a_level_not_a_flow(self):
+        earlier = _sample()
+        later = earlier.copy()
+        later.peak_device_bytes = 8192
+        diff = later.minus(earlier)
+        # the peak between two snapshots is unrecoverable; minus carries
+        # the later high-water mark rather than subtracting
+        assert diff.peak_device_bytes == 8192
+
+    def test_minus_zero_is_identity_for_every_field(self):
+        # fields()-driven arithmetic: a newly added counter must diff
+        # automatically, so minus(fresh) has to reproduce every field
+        stats = _sample()
+        diff = stats.minus(ExecutionStats())
+        for spec in fields(stats):
+            assert getattr(diff, spec.name) == getattr(stats, spec.name), spec.name
+
+    def test_level_fields_exist(self):
+        names = {spec.name for spec in fields(ExecutionStats())}
+        assert _LEVEL_FIELDS <= names
+
+
+class TestDerived:
+    def test_transfer_fraction(self):
+        stats = _sample()
+        assert stats.transfer_fraction == 400.0 / stats.total_ns
+
+    def test_transfer_fraction_zero_total(self):
+        assert ExecutionStats().transfer_fraction == 0.0
+
+    def test_to_dict_round_trip(self):
+        stats = _sample()
+        data = stats.to_dict()
+        assert data["kernel_launches"] == 5
+        data["kernel_time_by_tag"]["sort"] = 0.0
+        assert stats.kernel_time_by_tag["sort"] == 600.0
