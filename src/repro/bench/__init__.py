@@ -23,7 +23,7 @@ from .report import (
     print_sweep,
     speedup,
 )
-from .runner import Measurement, Sweep, run_sweep
+from .runner import Measurement, Sweep, run_sweep, run_throughput
 
 __all__ = [
     "FIG14_DEVICE_BYTES",
@@ -47,5 +47,6 @@ __all__ = [
     "geometric_speedups",
     "print_sweep",
     "run_sweep",
+    "run_throughput",
     "speedup",
 ]

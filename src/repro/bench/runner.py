@@ -162,3 +162,50 @@ def run_sweep(
                 )
             )
     return sweep
+
+
+def run_throughput(
+    scale_factors: Sequence[float],
+    streams_list: Sequence[int] = (1, 2, 4),
+    statements: Sequence[str] | None = None,
+    mode: str = "auto",
+    seed: int = 0,
+) -> Sweep:
+    """Batched-workload throughput: the serving-layer companion to
+    :func:`run_sweep`'s solo latencies.
+
+    Each cell pushes the workload (default: the 10-query paper mix)
+    through a fresh :class:`~repro.serve.EngineSession` +
+    :class:`~repro.serve.QueryScheduler` at one stream count;
+    ``time_ms`` is the modelled batch makespan, with the serial sum,
+    speedup and plan-cache hit ratio in ``extra``.
+    """
+    from ..serve import EngineSession, QueryScheduler, paper_mix_statements
+
+    sweep = Sweep("throughput")
+    for scale_factor in scale_factors:
+        catalog = generate_tpch(scale_factor, seed=seed)
+        workload = list(statements) if statements else paper_mix_statements()
+        for streams in streams_list:
+            with EngineSession(catalog, mode=mode) as session:
+                scheduler = QueryScheduler(session, streams=streams)
+                scheduler.submit_all(workload)
+                report = scheduler.run()
+                sweep.add(
+                    Measurement(
+                        f"{streams}-streams",
+                        scale_factor,
+                        report.makespan_ns / 1e6,
+                        rows=len(report.completed),
+                        note=f"{len(report.rejected)} rejected"
+                        if report.rejected else "",
+                        extra={
+                            "serial_ms": report.serial_ns / 1e6,
+                            "speedup": report.speedup,
+                            "queries_per_second": report.queries_per_second,
+                            "plan_cache_hit_ratio":
+                                session.plan_cache.hit_ratio,
+                        },
+                    )
+                )
+    return sweep

@@ -8,11 +8,16 @@ Usage:
     python -m repro.cli --paper-query tpch_q2 --analyze   # EXPLAIN ANALYZE
     python -m repro.cli -q "..." --trace trace.json --metrics metrics.json
     python -m repro.cli fuzz --seed 7 --iterations 50   # differential fuzz
+    python -m repro.cli serve --paper-mix --streams 4   # workload scheduler
 
-Inside the REPL, terminate statements with ``;``.  Meta-commands:
+The REPL runs on one :class:`~repro.serve.EngineSession`: resident
+columns, pool high-water, subquery indexes and cached plans persist
+across the statements you type (``\\session`` shows the standing
+state).  Terminate statements with ``;``.  Meta-commands:
 ``\\d`` lists tables, ``\\explain <sql>`` shows the plan and the
 transient/invariant marking, ``\\analyze <sql>`` runs EXPLAIN ANALYZE,
-``\\source <sql>`` prints the generated drive program, ``\\q`` quits.
+``\\source <sql>`` prints the generated drive program, ``\\session``
+dumps session statistics, ``\\q`` quits.
 
 ``--trace PATH`` exports a Chrome trace-event JSON of every traced
 query (load it at https://ui.perfetto.dev); ``--metrics PATH`` writes
@@ -117,6 +122,17 @@ def make_engine(args, tracer=None, metrics=None) -> NestGPU:
     )
 
 
+def make_session(args, tracer=None, metrics=None):
+    from .serve import EngineSession
+
+    device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
+    catalog = generate_tpch(args.scale)
+    return EngineSession(
+        catalog, device=device, options=EngineOptions(), mode=args.mode,
+        tracer=tracer, metrics=metrics,
+    )
+
+
 def run_statement(db: NestGPU, sql: str, explain: bool = False,
                   source: bool = False, analyze: bool = False) -> str:
     if analyze:
@@ -142,6 +158,14 @@ def repl(db: NestGPU, stdin=None, stdout=None) -> None:
             if command == "\\d":
                 for table in db.catalog:
                     print(f"  {table.name:12s} {table.num_rows:>9d} rows", file=stdout)
+                continue
+            if command == "\\session":
+                if hasattr(db, "stats") and callable(db.stats):
+                    import json
+
+                    print(json.dumps(db.stats(), indent=2), file=stdout)
+                else:
+                    print("not running on an engine session", file=stdout)
                 continue
             if command in ("\\explain", "\\analyze", "\\source"):
                 try:
@@ -181,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
         from .fuzz.runner import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.main import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     tracer = metrics = None
     if args.trace or args.analyze:
@@ -191,13 +219,18 @@ def main(argv: list[str] | None = None) -> int:
         from .obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    db = make_engine(args, tracer=tracer, metrics=metrics)
     sql = args.query
     if args.paper_query:
         if sql:
             print("error: -q and --paper-query are exclusive", file=sys.stderr)
             return 2
         sql = ALL_EVALUATION_QUERIES[args.paper_query]
+    session = None
+    if sql:
+        db = make_engine(args, tracer=tracer, metrics=metrics)
+    else:
+        # the REPL keeps one engine session alive across statements
+        db = session = make_session(args, tracer=tracer, metrics=metrics)
     status = 0
     try:
         if sql:
@@ -211,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
         else:
             repl(db)
     finally:
+        if session is not None:
+            session.close()
         if tracer is not None and args.trace:
             from .obs import write_chrome_trace
 

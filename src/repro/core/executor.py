@@ -63,6 +63,9 @@ class QueryResult:
     fetch_ns: float = 0.0
     index_probes: int = 0
     pool_restores: int = 0
+    # set by the session layer: whether parse→bind→plan was skipped
+    # because the plan cache already held this statement
+    plan_cache_hit: bool = False
 
     @property
     def total_ms(self) -> float:
@@ -170,31 +173,46 @@ class NestGPU:
         tracer=None,
         metrics=None,
         observed: bool = True,
+        ctx: ExecutionContext | None = None,
     ) -> QueryResult:
         """Execute a prepared query on a fresh simulated device.
 
         ``observed=False`` forces the no-op tracer and skips metrics —
         used by the cost model's internal probe runs so they never
         pollute a trace or the per-query log.
+
+        ``ctx`` injects a caller-owned execution context (a session's
+        long-lived device, pools and column residency) instead of
+        building a fresh one; the caller is then responsible for
+        resetting the device clock before the call and for the
+        between-queries cleanup (:meth:`ExecutionContext.end_query`).
+        All side-channel stats below are deltas against the state at
+        entry, so a reused context reports per-query numbers.
         """
         if observed:
             tracer = self.tracer if tracer is None else tracer
             metrics = self.metrics if metrics is None else metrics
         else:
             tracer, metrics = NULL_TRACER, None
-        device = Device(self.device_spec, tracer=tracer)
-        if tracer.enabled:
-            tracer.bind_device(device)
-        ctx = ExecutionContext(self.catalog, device, self.options)
+        if ctx is None:
+            device = Device(self.device_spec, tracer=tracer)
+            if tracer.enabled:
+                tracer.bind_device(device)
+            ctx = ExecutionContext(self.catalog, device, self.options)
+        else:
+            device = ctx.device
         if tracer.enabled:
             ctx.profile_node_ns = {}
+        before_total_ns = device.stats.total_ns
+        before_restores = ctx.pools.restores
+        before_probes = ctx.index_probes
         execute_span = None
         if tracer.enabled:
             execute_span = tracer.begin("execute", "phase", path=prepared.choice)
         try:
             with tracer.span("preload", "phase"):
                 self._preload(ctx, prepared.program)
-            preload_ns = device.stats.total_ns
+            preload_ns = device.stats.total_ns - before_total_ns
             rel, runtime = self._execute_program(ctx, prepared.program)
         finally:
             if execute_span is not None:
@@ -225,8 +243,8 @@ class NestGPU:
             },
             preload_ns=preload_ns,
             fetch_ns=runtime.fetch_ns,
-            index_probes=ctx.index_probes,
-            pool_restores=ctx.pools.restores,
+            index_probes=ctx.index_probes - before_probes,
+            pool_restores=ctx.pools.restores - before_restores,
         )
         if metrics is not None:
             self._record_metrics(metrics, prepared, result)
@@ -393,32 +411,42 @@ class NestGPU:
     def _preload(self, ctx, program: DriveProgram) -> None:
         """Preload base columns, inner-most subquery levels first and
         smaller tables first within a level (paper Section III-C)."""
-        levels: list[list[tuple[str, str]]] = []
+        ctx.preload(preload_columns(self.catalog, program))
 
-        def collect(plan, depth: int) -> None:
-            while len(levels) <= depth:
-                levels.append([])
-            for node in plan.walk():
-                if isinstance(node, Scan):
-                    for column in node.columns or []:
-                        levels[depth].append((node.table, column))
 
-        collect_plans = [(spec.plan, 1) for spec in program.specs]
-        outer_nodes = [n for n in program.nodes if isinstance(n, Scan)]
-        levels.append([])
-        for node in outer_nodes:
-            for column in node.columns or []:
-                levels[0].append((node.table, column))
-        for plan, depth in collect_plans:
-            collect(plan, depth)
-        ordered: list[tuple[str, str]] = []
-        seen = set()
-        for level in reversed(levels):
-            level_sorted = sorted(
-                set(level), key=lambda tc: self.catalog.table(tc[0]).num_rows
-            )
-            for key in level_sorted:
-                if key not in seen:
-                    seen.add(key)
-                    ordered.append(key)
-        ctx.preload(ordered)
+def preload_columns(catalog: Catalog, program: DriveProgram) -> list[tuple[str, str]]:
+    """The ordered ``(table, column)`` preload set of a drive program.
+
+    Shared by the executor's preload phase and the scheduler's
+    admission control, which sums the same set's bytes to estimate a
+    query's device working set before letting it run.
+    """
+    levels: list[list[tuple[str, str]]] = []
+
+    def collect(plan, depth: int) -> None:
+        while len(levels) <= depth:
+            levels.append([])
+        for node in plan.walk():
+            if isinstance(node, Scan):
+                for column in node.columns or []:
+                    levels[depth].append((node.table, column))
+
+    collect_plans = [(spec.plan, 1) for spec in program.specs]
+    outer_nodes = [n for n in program.nodes if isinstance(n, Scan)]
+    levels.append([])
+    for node in outer_nodes:
+        for column in node.columns or []:
+            levels[0].append((node.table, column))
+    for plan, depth in collect_plans:
+        collect(plan, depth)
+    ordered: list[tuple[str, str]] = []
+    seen = set()
+    for level in reversed(levels):
+        level_sorted = sorted(
+            set(level), key=lambda tc: catalog.table(tc[0]).num_rows
+        )
+        for key in level_sorted:
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+    return ordered

@@ -119,9 +119,24 @@ class SubqueryProgram:
         return table
 
     def scan_index(self, node: Scan, base: Relation, key_col: ColRef):
-        """The sorted index over the scan's correlated column, if built."""
+        """The sorted index over the scan's correlated column, if built.
+
+        A session-shared ``ctx.index_cache`` is consulted first, keyed
+        on the scan's structural fingerprint: an index built by an
+        earlier query in the session is reused without re-paying the
+        sort (for a per-query context the cache starts empty, so solo
+        execution is unchanged).
+        """
         memo_key = id(node)
         if memo_key not in self._index_memo:
+            shared_key = self._shared_index_key(node, key_col)
+            cached = (
+                self.ctx.index_cache.get(shared_key)
+                if self.ctx.options.use_index else None
+            )
+            if cached is not None:
+                self._index_memo[memo_key] = cached
+                return cached
             build = self.ctx.options.use_index and index_pays_off(
                 base.num_rows,
                 self._expected_iterations,
@@ -132,9 +147,30 @@ class SubqueryProgram:
                 index = CorrelatedIndex.build(self.ctx.device, values)
                 self.ctx.alloc_scratch(index.nbytes)
                 self._index_memo[memo_key] = index
+                self.ctx.index_cache[shared_key] = index
             else:
                 self._index_memo[memo_key] = None
         return self._index_memo[memo_key]
+
+    @staticmethod
+    def _shared_index_key(node: Scan, key_col: ColRef) -> tuple:
+        """Value-based fingerprint of (scan base, indexed column).
+
+        Two scans with the same table, binding, non-correlated filters
+        and column set produce identical base relations, so their
+        sorted indexes are interchangeable.  Plan expressions are
+        frozen dataclasses, making ``repr`` a stable value key.
+        """
+        plain = tuple(sorted(
+            repr(f) for f in node.filters if not referenced_params(f)
+        ))
+        return (
+            node.table,
+            node.binding,
+            repr(key_col),
+            plain,
+            tuple(node.columns or ()),
+        )
 
 
 class Runtime:

@@ -162,6 +162,14 @@ class DifferentialRunner:
 
     The engine factories are injectable so the test-suite can wire a
     deliberately broken engine and prove the harness detects it.
+
+    With ``reuse_sessions=True`` each configuration gets one standing
+    :class:`~repro.serve.EngineSession` reused for every query of the
+    campaign — plan cache, resident columns and subquery indexes all
+    persist, so the fuzzer doubles as a soak test of the session
+    machinery: any state leaking between queries shows up as a
+    differential mismatch.  Ignored when a custom ``engine_factory``
+    is injected.
     """
 
     def __init__(
@@ -170,6 +178,7 @@ class DifferentialRunner:
         configs: list[tuple[str, EngineOptions]] | None = None,
         oracle_factory=None,
         engine_factory=None,
+        reuse_sessions: bool = False,
     ):
         self.catalog = catalog
         self.configs = configs or config_matrix("full")
@@ -177,12 +186,31 @@ class DifferentialRunner:
         self._engine_factory = engine_factory or (
             lambda catalog, options: NestGPU(catalog, options=options)
         )
+        self._reuse = reuse_sessions and engine_factory is None
+        self._sessions: dict[str, object] = {}
+
+    def _get_engine(self, config_name: str, options: EngineOptions):
+        if not self._reuse:
+            return self._engine_factory(self.catalog, options)
+        session = self._sessions.get(config_name)
+        if session is None:
+            from ..serve import EngineSession
+
+            session = EngineSession(self.catalog, options=options)
+            self._sessions[config_name] = session
+        return session
+
+    def close(self) -> None:
+        """Dispose any standing sessions (idempotent)."""
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
 
     def run(self, sql: str) -> Report:
         oracle = canon_rows(self._oracle_factory(self.catalog).execute(sql).rows)
         report = Report(sql=sql, oracle_rows=oracle)
         for position, (config_name, options) in enumerate(self.configs):
-            engine = self._engine_factory(self.catalog, options)
+            engine = self._get_engine(config_name, options)
             # auto only on the matrix's lead (all-on) config: it runs
             # the cost model's measured plans on top of both methods, so
             # once per query is enough to cover the fallback decision

@@ -97,11 +97,21 @@ def run_campaign(
     runner: DifferentialRunner | None = None,
     log=None,
     do_trace: bool = False,
+    fresh_engine: bool = False,
 ) -> CampaignResult:
-    """Run ``iterations`` fuzzed queries; optionally shrink failures."""
+    """Run ``iterations`` fuzzed queries; optionally shrink failures.
+
+    By default the engine side of the matrix runs on standing
+    :class:`~repro.serve.EngineSession` instances (one per config) so
+    the campaign soaks the session machinery; ``fresh_engine=True``
+    restores a brand-new engine per query per config.
+    """
     started = time.monotonic()
     catalog = catalog or generate_tpch(scale)
-    runner = runner or DifferentialRunner(catalog, config_matrix(matrix))
+    owns_runner = runner is None
+    runner = runner or DifferentialRunner(
+        catalog, config_matrix(matrix), reuse_sessions=not fresh_engine
+    )
     campaign = CampaignResult(seed, iterations, scale, matrix)
     for index in range(iterations):
         query = generate_query(catalog, seed, index)
@@ -135,6 +145,8 @@ def run_campaign(
                 write_case_trace(
                     catalog, query.sql, case.artifact_dir / "trace.json"
                 )
+    if owns_runner:
+        runner.close()
     campaign.elapsed_s = time.monotonic() - started
     return campaign
 
@@ -274,6 +286,11 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         help="re-run a saved .sql reproducer or artifact directory and exit",
     )
     parser.add_argument(
+        "--fresh-engine", action="store_true",
+        help="build a fresh engine per query instead of reusing one "
+        "engine session per configuration",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="per-query progress"
     )
     return parser
@@ -306,6 +323,7 @@ def fuzz_main(argv: list[str] | None = None, stdout=None) -> int:
         out_dir=args.out,
         log=log if args.verbose else None,
         do_trace=args.trace,
+        fresh_engine=args.fresh_engine,
     )
     log(f"fuzz: {campaign.summary()}")
     if campaign.failures:

@@ -137,9 +137,18 @@ class Device:
         """A copy of the running statistics (diff two to time a span)."""
         return self.stats.copy()
 
-    def reset(self) -> None:
-        """Clear the clock and counters; memory accounting is kept."""
+    def reset(self, rebase_peak: bool = False) -> None:
+        """Clear the clock and counters; memory accounting is kept.
+
+        ``rebase_peak=True`` seeds the fresh stats' high-water mark with
+        the memory currently in use, so a per-query snapshot taken by a
+        long-lived session reports the standing residency (resident
+        columns, retained pools) even if the query itself never
+        allocates.
+        """
         self.stats = ExecutionStats()
+        if rebase_peak:
+            self.stats.peak_device_bytes = self._in_use
         if self.tracer.enabled:
             # rebase so a trace spanning the reset stays monotonic
             self.tracer.bind_device(self)

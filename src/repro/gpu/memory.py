@@ -125,6 +125,25 @@ class PoolSet:
         """Called after every operator (paper: tail = head)."""
         self.inter_kernel.reset()
 
+    def reset_tails(self) -> None:
+        """End-of-query rewind that *keeps* the reserved high-water.
+
+        A session calls this between queries instead of
+        :meth:`release_all`: the next query bump-allocates into space
+        the device already accounts for, so pool growth (and the
+        capacity it claims) is amortised across the whole session.
+        """
+        self.meta.reset()
+        self.intermediate.reset()
+        self.inter_kernel.reset()
+
+    def high_water(self) -> dict[str, int]:
+        """Reserved bytes per pool — survives :meth:`reset_tails`."""
+        return {
+            pool.name: pool.reserved
+            for pool in (self.meta, self.intermediate, self.inter_kernel)
+        }
+
     def release_all(self) -> None:
         self.meta.release()
         self.intermediate.release()

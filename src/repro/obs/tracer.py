@@ -22,7 +22,7 @@ import time
 #: "malloc") is a leaf whose time belongs to the enclosing structural
 #: span's self time.
 STRUCTURAL_CATEGORIES = frozenset(
-    {"query", "phase", "operator", "subquery", "iteration", "batch"}
+    {"session", "query", "phase", "operator", "subquery", "iteration", "batch"}
 )
 
 #: Categories an ``end_iteration`` scan must not cross: reaching one of

@@ -1,0 +1,35 @@
+"""The serving layer: sessions, plan caching, and modelled streams.
+
+One :class:`EngineSession` owns the simulated device for its whole
+lifetime; the :class:`QueryScheduler` drains a submission queue over
+it across modelled concurrent streams.  See
+:mod:`repro.serve.session` and :mod:`repro.serve.scheduler` for the
+model, and ``python -m repro.cli serve`` for the command-line entry.
+"""
+
+from .plancache import PlanCache, normalize_sql
+from .scheduler import (
+    PAPER_MIX,
+    AdmissionError,
+    QueryScheduler,
+    ScheduledQuery,
+    WorkloadReport,
+    paper_mix_statements,
+    split_statements,
+)
+from .session import EngineSession, SessionPrepared, render_param
+
+__all__ = [
+    "AdmissionError",
+    "EngineSession",
+    "PAPER_MIX",
+    "PlanCache",
+    "QueryScheduler",
+    "ScheduledQuery",
+    "SessionPrepared",
+    "WorkloadReport",
+    "normalize_sql",
+    "paper_mix_statements",
+    "render_param",
+    "split_statements",
+]

@@ -1,0 +1,185 @@
+"""``repro serve`` — run a workload through the session scheduler.
+
+Usage:
+
+    python -m repro.cli serve --paper-mix --streams 4 --scale 0.1
+    python -m repro.cli serve --workload queries.sql --report out.json
+    python -m repro.cli serve --paper-mix --trace streams.json --verify-solo
+
+``--workload FILE`` reads ``;``-separated statements; ``--paper-mix``
+uses the built-in 10-query mixed paper workload.  ``--report`` writes
+the full :class:`WorkloadReport` JSON, ``--trace`` a per-stream Chrome
+trace.  ``--verify-solo`` re-runs each *distinct* statement on a fresh
+single-query engine and checks the fresh-session latency is
+bit-identical — the refactor's no-regression contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..engine import EngineOptions
+from ..errors import ReproError
+from ..gpu import DeviceSpec
+from ..tpch import generate_tpch
+from .plancache import normalize_sql
+from .scheduler import QueryScheduler, paper_mix_statements, split_statements
+from .session import EngineSession
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Serve a query workload on one engine session with "
+        "modelled concurrent streams.",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="TPC-H micro scale factor (default 1)")
+    parser.add_argument("--streams", type=int, default=2,
+                        help="modelled device streams (default 2)")
+    parser.add_argument("--mode", choices=("auto", "nested", "unnested"),
+                        default="auto", help="execution mode")
+    parser.add_argument("--device", choices=("v100", "gtx1080"),
+                        default="v100", help="simulated device preset")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", metavar="FILE",
+                        help="file of ;-separated SQL statements")
+    source.add_argument("--paper-mix", action="store_true",
+                        help="the built-in 10-query mixed paper workload")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write the workload report as JSON")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a per-stream Chrome trace")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the session metrics registry as JSON")
+    parser.add_argument("--verify-solo", action="store_true",
+                        help="check fresh-session latencies are bit-identical "
+                        "to the single-query engine")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-query placement lines")
+    return parser
+
+
+def verify_solo_identity(statements, catalog_factory, device, mode) -> list[str]:
+    """Fresh-session vs single-query engine, per distinct statement.
+
+    Returns a list of mismatch descriptions (empty == all bit-identical).
+    The session side uses a *fresh* session per statement: within-batch
+    queries legitimately get faster as state amortises; the contract is
+    that the session machinery itself adds zero modelled cost.
+    """
+    from ..core import NestGPU
+
+    mismatches: list[str] = []
+    seen: set[str] = set()
+    for sql in statements:
+        key = normalize_sql(sql)
+        if key in seen:
+            continue
+        seen.add(key)
+        solo = NestGPU(
+            catalog_factory(), device=device, options=EngineOptions(),
+            mode=mode,
+        ).execute(sql)
+        with EngineSession(
+            catalog_factory(), device=device, options=EngineOptions(),
+            mode=mode,
+        ) as session:
+            fresh = session.execute(sql)
+        if repr(solo.stats.total_ns) != repr(fresh.stats.total_ns):
+            mismatches.append(
+                f"{key[:60]}: solo {solo.stats.total_ns!r} ns != "
+                f"session {fresh.stats.total_ns!r} ns"
+            )
+    return mismatches
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if args.streams < 1:
+        print("error: --streams must be >= 1", file=sys.stderr)
+        return 2
+    if args.paper_mix:
+        statements = paper_mix_statements()
+    else:
+        try:
+            with open(args.workload) as handle:
+                statements = split_statements(handle.read())
+        except OSError as exc:
+            print(f"error: cannot read workload: {exc}", file=sys.stderr)
+            return 2
+    if not statements:
+        print("error: workload is empty", file=sys.stderr)
+        return 2
+
+    device = (
+        DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
+    )
+    metrics = None
+    if args.metrics:
+        from ..obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
+    def catalog_factory():
+        return generate_tpch(args.scale)
+
+    session = EngineSession(
+        catalog_factory(), device=device, options=EngineOptions(),
+        mode=args.mode, metrics=metrics,
+    )
+    scheduler = QueryScheduler(session, streams=args.streams)
+    scheduler.submit_all(statements)
+    try:
+        report = scheduler.run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        session.close()
+
+    if args.verbose:
+        for query in report.queries:
+            if query.status == "done":
+                print(
+                    f"  [{query.seq:2d}] stream {query.stream} "
+                    f"start {query.start_ns / 1e6:9.3f} ms "
+                    f"dur {query.duration_ns / 1e6:9.3f} ms "
+                    f"{'hit ' if query.plan_cache_hit else 'miss'} "
+                    f"{normalize_sql(query.sql)[:50]}"
+                )
+            else:
+                print(f"  [{query.seq:2d}] {query.status}: {query.detail}")
+    print(report.summary())
+    print(
+        "plan cache: {hits} hits / {misses} misses "
+        "({hit_ratio:.0%})".format(**session.plan_cache.stats())
+    )
+
+    if args.report:
+        payload = report.to_dict()
+        payload["session"] = session.stats()
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.trace:
+        report.write_chrome_trace(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if metrics is not None:
+        metrics.write_json(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+
+    if args.verify_solo:
+        mismatches = verify_solo_identity(
+            statements, catalog_factory, device, args.mode,
+        )
+        if mismatches:
+            print("solo bit-identity FAILED:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("solo bit-identity: OK")
+    return 0

@@ -1,0 +1,96 @@
+"""The session plan cache / prepared-statement layer.
+
+A repeat query costs NestGPU a full parse → bind → plan → codegen pass
+plus — in auto mode — the cost model's probe runs, which *execute*
+plan fragments to extrapolate Eq. (6).  For a served workload those
+dominate the time not spent on the device, so the session keeps every
+:class:`~repro.core.executor.PreparedQuery` it builds, keyed on
+
+* the **normalized SQL text** (whitespace collapsed — two layouts of
+  the same statement are one plan),
+* the **execution mode** (``nested``/``unnested``/``auto`` choose
+  different plans),
+* the **parameter signature** of the prepared statement that produced
+  the text (so ``$1`` bound as an int and as a string never share an
+  entry), and
+* implicitly, the **catalog version**: any table registration or
+  reload bumps :attr:`repro.storage.Catalog.version`, and the session
+  clears the cache (plans bake in column widths, dictionary codes and
+  row counts, all of which a reload invalidates).
+
+Entries are evicted LRU beyond ``capacity``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.executor import PreparedQuery
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse all whitespace runs — the cache's textual identity."""
+    return " ".join(sql.split())
+
+
+class PlanCache:
+    """An LRU map from ``(normalized SQL, mode, param signature)`` to a
+    ready-to-run :class:`PreparedQuery`."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, PreparedQuery] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key(sql: str, mode: str, param_sig: tuple = ()) -> tuple:
+        return (normalize_sql(sql), mode, param_sig)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> PreparedQuery | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, prepared: PreparedQuery) -> None:
+        self._entries[key] = prepared
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_all(self) -> None:
+        """Drop every entry (catalog changed under the cache)."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_ratio(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,322 @@
+"""The query scheduler: modelled streams, admission control, makespan.
+
+The simulated device executes one query at a time in Python, but a
+real GPU serves concurrent queries on separate *streams*: kernels of
+different queries interleave, and the batch finishes when the last
+stream drains — not after the sum of solo latencies.  The scheduler
+reproduces that throughput story deterministically:
+
+* queries are **submitted** to a queue and executed in order on the
+  shared :class:`~repro.serve.session.EngineSession` (so plan-cache
+  and residency amortization behave exactly as they would serially);
+* each query's measured modelled duration is then **placed** on the
+  earliest-free of ``streams`` modelled streams (list scheduling);
+* **admission control** holds a query back while the working sets of
+  queries modelled as in-flight would overflow HBM, and rejects
+  outright any query whose own working set exceeds device capacity;
+* the **makespan** is the last stream's drain time, floored by the
+  total PCIe traffic (all streams share one bus — transfers
+  serialize even when kernels overlap).
+
+Queue wait (admission + stream availability) is recorded per query
+and folded into the session's metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..core import QueryResult
+from ..core.executor import _sql_snippet
+from ..errors import ReproError
+from .session import EngineSession
+
+
+class AdmissionError(ReproError):
+    """The query's working set cannot fit on the device at all."""
+
+
+@dataclass
+class ScheduledQuery:
+    """One workload entry with its modelled placement."""
+
+    seq: int
+    sql: str
+    mode: str | None
+    status: str = "pending"  # 'done' | 'rejected' | 'error'
+    stream: int | None = None
+    start_ns: float = 0.0
+    duration_ns: float = 0.0
+    queue_wait_ns: float = 0.0
+    working_set_bytes: int = 0
+    plan_cache_hit: bool = False
+    detail: str = ""
+    result: QueryResult | None = None
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "sql": _sql_snippet(self.sql),
+            "mode": self.mode,
+            "status": self.status,
+            "stream": self.stream,
+            "start_ms": self.start_ns / 1e6,
+            "duration_ms": self.duration_ns / 1e6,
+            "end_ms": self.end_ns / 1e6,
+            "queue_wait_ms": self.queue_wait_ns / 1e6,
+            "working_set_bytes": self.working_set_bytes,
+            "plan_cache_hit": self.plan_cache_hit,
+            "total_ns": (
+                repr(self.result.stats.total_ns)
+                if self.result is not None else None
+            ),
+            "rows": self.result.num_rows if self.result is not None else None,
+            "path": (
+                self.result.plan_choice if self.result is not None else None
+            ),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class WorkloadReport:
+    """The modelled outcome of one scheduled batch."""
+
+    streams: int
+    queries: list[ScheduledQuery] = field(default_factory=list)
+    bus_ns: float = 0.0
+
+    @property
+    def completed(self) -> list[ScheduledQuery]:
+        return [q for q in self.queries if q.status == "done"]
+
+    @property
+    def rejected(self) -> list[ScheduledQuery]:
+        return [q for q in self.queries if q.status == "rejected"]
+
+    @property
+    def serial_ns(self) -> float:
+        """Sum of per-query durations — the one-at-a-time baseline."""
+        return sum(q.duration_ns for q in self.completed)
+
+    @property
+    def makespan_ns(self) -> float:
+        """Drain time of the slowest stream, floored by bus traffic."""
+        stream_drain = max((q.end_ns for q in self.completed), default=0.0)
+        return max(stream_drain, self.bus_ns)
+
+    @property
+    def speedup(self) -> float:
+        makespan = self.makespan_ns
+        return self.serial_ns / makespan if makespan else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Modelled throughput over the batch makespan."""
+        makespan_s = self.makespan_ns / 1e9
+        return len(self.completed) / makespan_s if makespan_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "streams": self.streams,
+            "completed": len(self.completed),
+            "rejected": len(self.rejected),
+            "makespan_ms": self.makespan_ns / 1e6,
+            "serial_ms": self.serial_ns / 1e6,
+            "bus_ms": self.bus_ns / 1e6,
+            "speedup": self.speedup,
+            "queries_per_second": self.queries_per_second,
+            "queries": [q.to_dict() for q in self.queries],
+        }
+
+    def chrome_trace(self) -> dict:
+        """A per-stream Chrome trace: one lane (tid) per stream."""
+        events: list[dict] = [
+            {
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": stream,
+                "args": {"name": f"stream {stream}"},
+            }
+            for stream in range(self.streams)
+        ]
+        for query in self.completed:
+            events.append({
+                "name": _sql_snippet(query.sql, 60),
+                "cat": "query",
+                "ph": "X",
+                "ts": query.start_ns / 1e3,
+                "dur": query.duration_ns / 1e3,
+                "pid": 0,
+                "tid": query.stream,
+                "args": {
+                    "seq": query.seq,
+                    "queue_wait_ms": query.queue_wait_ns / 1e6,
+                    "plan_cache_hit": query.plan_cache_hit,
+                    "rows": query.result.num_rows if query.result else None,
+                },
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "modelled-device-ns"},
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+            handle.write("\n")
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.completed)} queries on {self.streams} streams: "
+            f"makespan {self.makespan_ns / 1e6:.3f} ms vs serial "
+            f"{self.serial_ns / 1e6:.3f} ms "
+            f"({self.speedup:.2f}x, {self.queries_per_second:.1f} q/s"
+            f"{', %d rejected' % len(self.rejected) if self.rejected else ''})"
+        )
+
+
+class QueryScheduler:
+    """Submission queue + modelled stream placement over one session."""
+
+    def __init__(self, session: EngineSession, streams: int = 2):
+        if streams < 1:
+            raise ValueError("need at least one stream")
+        self.session = session
+        self.streams = streams
+        self._queue: list[tuple[str, str | None]] = []
+
+    def submit(self, sql: str, mode: str | None = None) -> int:
+        """Enqueue a statement; returns its sequence number."""
+        self._queue.append((sql, mode))
+        return len(self._queue) - 1
+
+    def submit_all(self, statements) -> None:
+        for sql in statements:
+            self.submit(sql)
+
+    def run(self) -> WorkloadReport:
+        """Drain the queue; returns the modelled placement report."""
+        report = WorkloadReport(streams=self.streams)
+        capacity = self.session.device_capacity_bytes
+        free_at = [0.0] * self.streams
+        in_flight: list[tuple[float, int]] = []  # (end_ns, working_set)
+        metrics = self.session.metrics
+        queue, self._queue = self._queue, []
+        for seq, (sql, mode) in enumerate(queue):
+            entry = ScheduledQuery(seq=seq, sql=sql, mode=mode)
+            report.queries.append(entry)
+            try:
+                prepared, hit = self.session.lookup_or_prepare(sql, mode)
+                entry.working_set_bytes = self.session.working_set_bytes(
+                    prepared
+                )
+                if entry.working_set_bytes > capacity:
+                    raise AdmissionError(
+                        f"working set {entry.working_set_bytes} B exceeds "
+                        f"device capacity {capacity} B"
+                    )
+            except AdmissionError as exc:
+                entry.status = "rejected"
+                entry.detail = str(exc)
+                if metrics is not None:
+                    metrics.counter("serve.queries.rejected").inc()
+                continue
+            except ReproError as exc:
+                entry.status = "error"
+                entry.detail = f"{type(exc).__name__}: {exc}"
+                if metrics is not None:
+                    metrics.counter("serve.queries.errored").inc()
+                continue
+            # placement: earliest-free stream, pushed later while the
+            # modelled in-flight working sets would overflow HBM
+            stream = min(range(self.streams), key=lambda s: free_at[s])
+            start = free_at[stream]
+            start = self._admit(start, entry.working_set_bytes,
+                                capacity, in_flight)
+            result = self.session.run(prepared, plan_cache_hit=hit)
+            entry.result = result
+            entry.plan_cache_hit = hit
+            entry.status = "done"
+            entry.stream = stream
+            entry.start_ns = start
+            entry.duration_ns = result.stats.total_ns
+            entry.queue_wait_ns = start
+            free_at[stream] = entry.end_ns
+            in_flight.append((entry.end_ns, entry.working_set_bytes))
+            report.bus_ns += result.stats.transfer_time_ns
+            if metrics is not None:
+                metrics.counter("serve.queries.admitted").inc()
+                metrics.counter(f"serve.stream.{stream}.queries").inc()
+                metrics.histogram("serve.queue_wait_ms").observe(
+                    entry.queue_wait_ns / 1e6
+                )
+        if metrics is not None and report.completed:
+            metrics.gauge("serve.makespan_ms").set(report.makespan_ns / 1e6)
+            metrics.gauge("serve.serial_ms").set(report.serial_ns / 1e6)
+            metrics.gauge("serve.speedup").set(report.speedup)
+            metrics.gauge("serve.queries_per_second").set(
+                report.queries_per_second
+            )
+        return report
+
+    @staticmethod
+    def _admit(
+        start: float, working_set: int, capacity: int,
+        in_flight: list[tuple[float, int]],
+    ) -> float:
+        """Push ``start`` past completions until the query fits in HBM."""
+        while True:
+            running = [
+                (end, ws) for end, ws in in_flight if end > start
+            ]
+            if sum(ws for _, ws in running) + working_set <= capacity:
+                return start
+            start = min(end for end, _ in running)
+
+
+def split_statements(text: str) -> list[str]:
+    """Split a workload file into statements on ``;`` (quote-aware)."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in text:
+        if ch == "'":
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+#: The CI / bench 10-query mixed workload: every paper query family,
+#: with repeats so the plan cache and residency manager are exercised.
+PAPER_MIX = (
+    "tpch_q2",
+    "tpch_q4",
+    "tpch_q17",
+    "paper_q4v",
+    "tpch_q2",
+    "paper_q6",
+    "tpch_q17",
+    "paper_q7",
+    "tpch_q4",
+    "paper_q8",
+)
+
+
+def paper_mix_statements() -> list[str]:
+    from ..tpch import ALL_EVALUATION_QUERIES
+
+    return [ALL_EVALUATION_QUERIES[name] for name in PAPER_MIX]

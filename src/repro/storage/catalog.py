@@ -18,6 +18,10 @@ class Catalog:
 
     def __init__(self, tables: list[Table] | None = None):
         self._tables: dict[str, Table] = {}
+        #: Monotonic mutation counter.  Long-lived layers (the session
+        #: plan cache, cross-query index/residency state) key their
+        #: validity on it: any register/replace invalidates them.
+        self.version = 0
         for table in tables or []:
             self.register(table)
 
@@ -26,10 +30,12 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already registered")
         self._tables[key] = table
+        self.version += 1
 
     def replace(self, table: Table) -> None:
         """Register or overwrite — used when regenerating data at a new scale."""
         self._tables[table.name.lower()] = table
+        self.version += 1
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -67,3 +67,45 @@ def test_fuzz_main_smoke(capsys):
     )
     assert code == 0
     assert "0 failing" in out.getvalue()
+
+
+def test_session_reuse_matches_fresh_engines(fuzz_catalog):
+    """The default campaign soaks EngineSession reuse; --fresh-engine
+    restores per-query engines. Verdicts must agree exactly."""
+    reused = run_campaign(11, 6, catalog=fuzz_catalog, matrix="minimal")
+    fresh = run_campaign(
+        11, 6, catalog=fuzz_catalog, matrix="minimal", fresh_engine=True
+    )
+
+    def verdicts(campaign):
+        return [
+            c.report.ok if c.report is not None else c.generation_error
+            for c in campaign.cases
+        ]
+
+    assert verdicts(reused) == verdicts(fresh)
+    assert not reused.failures
+
+
+def test_runner_keeps_one_session_per_config(fuzz_catalog):
+    runner = DifferentialRunner(
+        fuzz_catalog, config_matrix("minimal"), reuse_sessions=True
+    )
+    runner.run("SELECT count(*) AS c FROM region")
+    sessions = dict(runner._sessions)
+    assert set(sessions) == {"all-on", "all-off"}
+    runner.run("SELECT count(*) AS c FROM nation")
+    assert dict(runner._sessions) == sessions  # same objects, reused
+    assert all(s.queries_run >= 2 for s in sessions.values())
+    runner.close()
+    assert not runner._sessions
+
+
+def test_injected_factory_disables_session_reuse(fuzz_catalog):
+    runner = DifferentialRunner(
+        fuzz_catalog, config_matrix("minimal"),
+        engine_factory=_BrokenEngine, reuse_sessions=True,
+    )
+    report = runner.run("SELECT count(*) AS c FROM region")
+    assert not runner._sessions
+    assert not report.ok  # the broken engine is actually in use

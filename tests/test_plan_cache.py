@@ -1,0 +1,139 @@
+"""Plan cache and prepared-statement semantics."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import rows_set
+
+from repro.baselines import RowstoreEngine
+from repro.serve import EngineSession, PlanCache, normalize_sql
+from repro.tpch import ALL_EVALUATION_QUERIES, generate_tpch
+
+Q4 = ALL_EVALUATION_QUERIES["tpch_q4"]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(0.05)
+
+
+@pytest.fixture()
+def session(catalog):
+    with EngineSession(catalog) as s:
+        yield s
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction_at_capacity(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("a", "auto", ()), "plan-a")
+        cache.put(("b", "auto", ()), "plan-b")
+        assert cache.get(("a", "auto", ())) == "plan-a"  # refresh a
+        cache.put(("c", "auto", ()), "plan-c")  # evicts b
+        assert cache.get(("b", "auto", ())) is None
+        assert cache.get(("a", "auto", ())) == "plan-a"
+        assert cache.evictions == 1
+
+    def test_hit_ratio(self):
+        cache = PlanCache()
+        assert cache.hit_ratio == 0.0
+        cache.put(("a", "auto", ()), "plan")
+        cache.get(("a", "auto", ()))
+        cache.get(("missing", "auto", ()))
+        assert cache.hit_ratio == 0.5
+
+    def test_invalidate_all(self):
+        cache = PlanCache()
+        cache.put(("a", "auto", ()), "plan")
+        cache.invalidate_all()
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_normalize_collapses_whitespace(self):
+        assert normalize_sql("SELECT  1\n  FROM t") == "SELECT 1 FROM t"
+
+
+class TestSessionPlanCache:
+    def test_hit_on_identical_sql(self, session):
+        first = session.execute(Q4)
+        second = session.execute(Q4)
+        assert not first.plan_cache_hit
+        assert second.plan_cache_hit
+        assert session.plan_cache.hits == 1
+        assert repr(rows_set(second)) == repr(rows_set(first))
+
+    def test_hit_is_whitespace_insensitive(self, session):
+        session.execute(Q4)
+        reformatted = Q4.replace(" ", "\n   ", 3)
+        assert session.execute(reformatted).plan_cache_hit
+
+    def test_miss_on_different_mode(self, session):
+        session.execute(Q4, mode="nested")
+        assert not session.execute(Q4, mode="auto").plan_cache_hit
+        assert session.execute(Q4, mode="nested").plan_cache_hit
+
+    def test_miss_after_catalog_reload(self):
+        catalog = generate_tpch(0.05)
+        with EngineSession(catalog) as session:
+            session.execute(Q4)
+            assert session.execute(Q4).plan_cache_hit
+            catalog.replace(generate_tpch(0.1).table("orders"))
+            assert not session.execute(Q4).plan_cache_hit
+            assert session.plan_cache.invalidations == 1
+
+
+class TestPreparedStatements:
+    # numeric outputs only: the rowstore oracle returns raw dictionary
+    # codes for string group keys, which would not compare
+    TEMPLATE = (
+        "SELECT count(*) AS order_count, sum(o_totalprice) AS total "
+        "FROM orders WHERE o_totalprice > $1 AND o_totalprice > "
+        "(SELECT avg(l_extendedprice) FROM lineitem "
+        "WHERE l_orderkey = o_orderkey)"
+    )
+
+    def test_rebinding_matches_rowstore_oracle(self, catalog, session):
+        statement = session.prepare_statement(self.TEMPLATE)
+        oracle = RowstoreEngine(catalog)
+        for threshold in (0.0, 1000.0, 50000.0):
+            served = statement.execute(threshold)
+            expected = oracle.execute(statement.bind(threshold))
+            assert repr(rows_set(served)) == repr(rows_set(expected))
+
+    def test_same_values_hit_fresh_values_miss(self, session):
+        statement = session.prepare_statement(self.TEMPLATE)
+        assert not statement.execute(500.0).plan_cache_hit
+        assert statement.execute(500.0).plan_cache_hit
+        assert not statement.execute(900.0).plan_cache_hit
+
+    def test_param_signature_separates_types(self, session):
+        statement = session.prepare_statement(
+            "SELECT count(*) AS c FROM orders WHERE o_orderkey > $1"
+        )
+        statement.execute(5)
+        key_int = PlanCache.key(statement.bind(5), "auto", ("int",))
+        key_float = PlanCache.key(statement.bind(5), "auto", ("float",))
+        assert key_int in session.plan_cache
+        assert key_float not in session.plan_cache
+
+    def test_gap_in_placeholders_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.prepare_statement("SELECT $2 FROM orders")
+
+    def test_wrong_arity_rejected(self, session):
+        statement = session.prepare_statement(
+            "SELECT count(*) AS c FROM orders WHERE o_orderkey > $1"
+        )
+        with pytest.raises(ValueError):
+            statement.execute(1, 2)
+
+    def test_string_parameter_quoting(self, session):
+        statement = session.prepare_statement(
+            "SELECT count(*) AS c FROM orders WHERE o_orderpriority = $1"
+        )
+        result = statement.execute("1-URGENT")
+        assert result.rows[0][0] > 0

@@ -1,0 +1,178 @@
+"""QueryScheduler: stream placement, admission control, makespan."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu import DeviceSpec
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    EngineSession,
+    QueryScheduler,
+    paper_mix_statements,
+    split_statements,
+)
+from repro.tpch import generate_tpch
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(SCALE)
+
+
+class TestPaperMixWorkload:
+    @pytest.fixture(scope="class")
+    def batch(self, catalog):
+        metrics = MetricsRegistry()
+        with EngineSession(catalog, metrics=metrics) as session:
+            scheduler = QueryScheduler(session, streams=4)
+            scheduler.submit_all(paper_mix_statements())
+            report = scheduler.run()
+            yield report, session, metrics
+
+    def test_all_ten_complete(self, batch):
+        report, _, _ = batch
+        assert len(report.queries) == 10
+        assert len(report.completed) == 10
+        assert not report.rejected
+
+    def test_makespan_beats_serial_sum(self, batch):
+        report, _, _ = batch
+        assert report.makespan_ns > 0
+        assert report.makespan_ns < report.serial_ns
+        assert report.speedup > 1.0
+
+    def test_plan_cache_hits_in_metrics(self, batch):
+        _, session, metrics = batch
+        assert session.plan_cache.hit_ratio > 0
+        assert metrics.counter("plan_cache.hits").value > 0
+        assert metrics.gauge("plan_cache.hit_ratio").value > 0
+        assert metrics.counter("serve.queries.admitted").value == 10
+
+    def test_work_spreads_across_streams(self, batch):
+        report, _, _ = batch
+        assert len({q.stream for q in report.completed}) > 1
+
+    def test_stream_timelines_never_overlap(self, batch):
+        report, _, _ = batch
+        for stream in range(report.streams):
+            lane = sorted(
+                (q for q in report.completed if q.stream == stream),
+                key=lambda q: q.start_ns,
+            )
+            for prev, nxt in zip(lane, lane[1:]):
+                assert nxt.start_ns >= prev.end_ns
+
+    def test_makespan_floored_by_bus_traffic(self, batch):
+        report, _, _ = batch
+        assert report.bus_ns > 0
+        assert report.makespan_ns >= report.bus_ns
+
+    def test_chrome_trace_has_stream_lanes(self, batch, tmp_path):
+        report, _, _ = batch
+        path = tmp_path / "streams.json"
+        report.write_chrome_trace(path)
+        trace = json.loads(path.read_text())
+        slices = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == 10
+        assert {e["tid"] for e in slices} == {
+            q.stream for q in report.completed
+        }
+        names = [e for e in trace["traceEvents"] if e.get("ph") == "M"]
+        assert len(names) == report.streams
+
+    def test_report_round_trips_to_json(self, batch):
+        report, _, _ = batch
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["completed"] == 10
+        assert payload["makespan_ms"] < payload["serial_ms"]
+        assert any(q["plan_cache_hit"] for q in payload["queries"])
+
+
+class TestAdmissionControl:
+    def test_oversized_query_rejected(self, catalog):
+        tiny = DeviceSpec.v100().with_memory(4096)
+        metrics = MetricsRegistry()
+        with EngineSession(catalog, device=tiny, metrics=metrics) as session:
+            scheduler = QueryScheduler(session, streams=2)
+            scheduler.submit(
+                "SELECT count(*) AS c FROM lineitem WHERE l_quantity > "
+                "(SELECT avg(l2.l_quantity) FROM lineitem l2 "
+                "WHERE l2.l_orderkey = l_orderkey)"
+            )
+            report = scheduler.run()
+        assert len(report.rejected) == 1
+        assert "exceeds" in report.rejected[0].detail
+        assert metrics.counter("serve.queries.rejected").value == 1
+
+    def test_rejection_does_not_stop_the_batch(self, catalog):
+        tiny = DeviceSpec.v100().with_memory(4096)
+        with EngineSession(catalog, device=tiny) as session:
+            scheduler = QueryScheduler(session, streams=2)
+            scheduler.submit(
+                "SELECT count(*) AS c FROM lineitem WHERE l_quantity > "
+                "(SELECT avg(l2.l_quantity) FROM lineitem l2 "
+                "WHERE l2.l_orderkey = l_orderkey)"
+            )
+            scheduler.submit("SELECT count(*) AS c FROM region")
+            report = scheduler.run()
+        assert [q.status for q in report.queries] == ["rejected", "done"]
+
+    def test_bad_sql_is_an_error_entry(self, catalog):
+        with EngineSession(catalog) as session:
+            scheduler = QueryScheduler(session, streams=1)
+            scheduler.submit("SELECT FROM nowhere")
+            scheduler.submit("SELECT count(*) AS c FROM region")
+            report = scheduler.run()
+        assert report.queries[0].status == "error"
+        assert report.queries[1].status == "done"
+
+    def test_admission_delays_start_when_memory_is_tight(self):
+        # two in-flight working sets of 60 cannot coexist under 100:
+        # the second query starts when the first completes
+        start = QueryScheduler._admit(
+            0.0, 60, 100, [(10.0, 60)]
+        )
+        assert start == 10.0
+
+    def test_admission_immediate_when_memory_fits(self):
+        assert QueryScheduler._admit(0.0, 30, 100, [(10.0, 60)]) == 0.0
+
+    def test_scheduler_rejects_zero_streams(self, catalog):
+        with EngineSession(catalog) as session:
+            with pytest.raises(ValueError):
+                QueryScheduler(session, streams=0)
+
+
+class TestSingleStreamDegenerate:
+    def test_one_stream_makespan_equals_serial(self, catalog):
+        with EngineSession(catalog) as session:
+            scheduler = QueryScheduler(session, streams=1)
+            for sql in paper_mix_statements()[:4]:
+                scheduler.submit(sql)
+            report = scheduler.run()
+        assert report.makespan_ns == pytest.approx(report.serial_ns)
+
+
+class TestSplitStatements:
+    def test_splits_on_semicolons(self):
+        assert split_statements("SELECT 1 FROM a;\nSELECT 2 FROM b;") == [
+            "SELECT 1 FROM a",
+            "SELECT 2 FROM b",
+        ]
+
+    def test_semicolon_inside_string_is_kept(self):
+        statements = split_statements(
+            "SELECT count(*) AS c FROM t WHERE name = 'a;b'; SELECT 1 FROM u"
+        )
+        assert statements == [
+            "SELECT count(*) AS c FROM t WHERE name = 'a;b'",
+            "SELECT 1 FROM u",
+        ]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert split_statements("SELECT 1 FROM a") == ["SELECT 1 FROM a"]
