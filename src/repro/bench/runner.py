@@ -170,17 +170,28 @@ def run_throughput(
     statements: Sequence[str] | None = None,
     mode: str = "auto",
     seed: int = 0,
+    concurrent: bool = False,
+    drain_timeout_s: float = 300.0,
 ) -> Sweep:
     """Batched-workload throughput: the serving-layer companion to
     :func:`run_sweep`'s solo latencies.
 
     Each cell pushes the workload (default: the 10-query paper mix)
-    through a fresh :class:`~repro.serve.EngineSession` +
-    :class:`~repro.serve.QueryScheduler` at one stream count;
-    ``time_ms`` is the modelled batch makespan, with the serial sum,
-    speedup and plan-cache hit ratio in ``extra``.
+    through a fresh :class:`~repro.serve.EngineSession` at one stream
+    count; ``time_ms`` is the modelled batch makespan, with the serial
+    sum, speedup and plan-cache hit ratio in ``extra``.
+
+    ``concurrent=True`` swaps the modelled-placement
+    :class:`~repro.serve.QueryScheduler` for the real-execution
+    :class:`~repro.serve.AsyncEngine` — one worker thread per stream —
+    and adds the measured wall-clock batch time to ``extra``.
     """
-    from ..serve import EngineSession, QueryScheduler, paper_mix_statements
+    from ..serve import (
+        AsyncEngine,
+        EngineSession,
+        QueryScheduler,
+        paper_mix_statements,
+    )
 
     sweep = Sweep("throughput")
     for scale_factor in scale_factors:
@@ -188,12 +199,32 @@ def run_throughput(
         workload = list(statements) if statements else paper_mix_statements()
         for streams in streams_list:
             with EngineSession(catalog, mode=mode) as session:
-                scheduler = QueryScheduler(session, streams=streams)
-                scheduler.submit_all(workload)
-                report = scheduler.run()
+                extra = {}
+                if concurrent:
+                    import time as _time
+
+                    engine = AsyncEngine(session, workers=streams)
+                    wall_start = _time.perf_counter()
+                    engine.submit_all(workload)
+                    drained = engine.drain(timeout=drain_timeout_s)
+                    wall_ms = (_time.perf_counter() - wall_start) * 1e3
+                    engine.shutdown(drain=False, timeout=10.0)
+                    if not drained:
+                        sweep.add(Measurement(
+                            f"{streams}-workers", scale_factor, None,
+                            note="drain timeout",
+                        ))
+                        continue
+                    report = engine.report()
+                    extra["wall_ms"] = wall_ms
+                else:
+                    scheduler = QueryScheduler(session, streams=streams)
+                    scheduler.submit_all(workload)
+                    report = scheduler.run()
+                label = f"{streams}-workers" if concurrent else f"{streams}-streams"
                 sweep.add(
                     Measurement(
-                        f"{streams}-streams",
+                        label,
                         scale_factor,
                         report.makespan_ns / 1e6,
                         rows=len(report.completed),
@@ -205,6 +236,7 @@ def run_throughput(
                             "queries_per_second": report.queries_per_second,
                             "plan_cache_hit_ratio":
                                 session.plan_cache.hit_ratio,
+                            **extra,
                         },
                     )
                 )

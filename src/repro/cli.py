@@ -9,6 +9,7 @@ Usage:
     python -m repro.cli -q "..." --trace trace.json --metrics metrics.json
     python -m repro.cli fuzz --seed 7 --iterations 50   # differential fuzz
     python -m repro.cli serve --paper-mix --streams 4   # workload scheduler
+    python -m repro.cli serve --paper-mix --concurrency 4  # real worker pool
 
 The REPL runs on one :class:`~repro.serve.EngineSession`: resident
 columns, pool high-water, subquery indexes and cached plans persist

@@ -174,6 +174,7 @@ class NestGPU:
         metrics=None,
         observed: bool = True,
         ctx: ExecutionContext | None = None,
+        span_attrs: dict | None = None,
     ) -> QueryResult:
         """Execute a prepared query on a fresh simulated device.
 
@@ -184,10 +185,17 @@ class NestGPU:
         ``ctx`` injects a caller-owned execution context (a session's
         long-lived device, pools and column residency) instead of
         building a fresh one; the caller is then responsible for
-        resetting the device clock before the call and for the
-        between-queries cleanup (:meth:`ExecutionContext.end_query`).
+        resetting the device clock before the call, for the
+        between-queries cleanup (:meth:`ExecutionContext.end_query`),
+        and — when several threads share the context's device — for
+        serializing calls (the device is not internally synchronized;
+        the session lock is the one the ThreadGuard recognises).
         All side-channel stats below are deltas against the state at
         entry, so a reused context reports per-query numbers.
+
+        ``span_attrs`` adds attributes to the execute-phase span when
+        tracing (the concurrent serving engine tags the worker and
+        modelled stream ids of the run here).
         """
         if observed:
             tracer = self.tracer if tracer is None else tracer
@@ -208,7 +216,9 @@ class NestGPU:
         before_probes = ctx.index_probes
         execute_span = None
         if tracer.enabled:
-            execute_span = tracer.begin("execute", "phase", path=prepared.choice)
+            execute_span = tracer.begin(
+                "execute", "phase", path=prepared.choice, **(span_attrs or {}),
+            )
         try:
             with tracer.span("preload", "phase"):
                 self._preload(ctx, prepared.program)

@@ -54,7 +54,14 @@ class ColumnResidency:
     on for bit-identical modelled times.  Sessions pass ``lru=True``:
     with queries arriving indefinitely, a touch is evidence of reuse,
     so the victim is the least-recently-*used* column.
+
+    Like the device it allocates on, residency is not internally
+    synchronized; concurrent serving mutates it only under the session
+    lock (``_GUARDED_METHODS`` lists the entry points a ThreadGuard
+    checks).
     """
+
+    _GUARDED_METHODS = ("ensure", "release_all")
 
     def __init__(self, device: Device, lru: bool = False):
         self.device = device

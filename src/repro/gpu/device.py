@@ -24,7 +24,22 @@ class Device:
     then also records a leaf span on the modelled clock.  The default
     is the no-op tracer, so untraced runs pay one ``enabled`` check per
     charge and their modelled times are bit-identical.
+
+    Threading contract: the device is **not** internally synchronized
+    — per-charge locking would tax the hot path every modelled time is
+    calibrated against.  All mutation must come from a single thread
+    or happen while holding the owning session's lock; the methods in
+    ``_GUARDED_METHODS`` are the mutation entry points a
+    :class:`~repro.serve.threadguard.ThreadGuard` instruments to
+    enforce that contract in tests.
     """
+
+    #: Mutation entry points, in ThreadGuard's vocabulary: each call
+    #: reads and writes the clock/stats/memory accounting.
+    _GUARDED_METHODS = (
+        "alloc", "free", "launch", "materialize",
+        "transfer_h2d", "transfer_d2h", "reset",
+    )
 
     def __init__(self, spec: DeviceSpec, tracer=None):
         self.spec = spec

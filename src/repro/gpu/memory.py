@@ -40,6 +40,11 @@ class MemoryPool:
     never does.
     """
 
+    #: Tail/high-water mutators (see Device._GUARDED_METHODS): pools
+    #: share the device's threading contract — single thread, or the
+    #: owning session's lock held.
+    _GUARDED_METHODS = ("alloc", "restore", "reset", "release")
+
     def __init__(self, device: Device, name: str, host_side: bool = False):
         self.device = device
         self.name = name
@@ -103,6 +108,10 @@ class MemoryPool:
 class PoolSet:
     """The three pools used by a drive program."""
 
+    _GUARDED_METHODS = (
+        "restore_all", "clear_inter_kernel", "reset_tails", "release_all",
+    )
+
     def __init__(self, device: Device):
         self.meta = MemoryPool(device, "meta", host_side=True)
         self.intermediate = MemoryPool(device, "intermediate")
@@ -158,6 +167,8 @@ class RawDeviceAllocator:
     overhead on every call.
     """
 
+    _GUARDED_METHODS = ("alloc", "free_all")
+
     def __init__(self, device: Device):
         self.device = device
         self._live: list[int] = []
@@ -171,3 +182,8 @@ class RawDeviceAllocator:
         for nbytes in self._live:
             self.device.free(nbytes, raw=True)
         self._live.clear()
+
+    @property
+    def outstanding(self) -> int:
+        """Live raw allocations (zero after every ``end_query``)."""
+        return len(self._live)

@@ -5,59 +5,73 @@ run: cache hit ratios, pool reuse vs. raw mallocs, index probes, PCIe
 transfer fractions, and the cost model's predicted-vs-actual error per
 query (the Figure 15/16 accuracy data, recomputable from any session's
 dump).
+
+The registry is shared by every worker of a concurrent serving engine,
+so each metric's read-modify-write update (``value += amount``, the
+histogram's four fields) happens under the metric's own lock, and
+get-or-create goes through the registry lock — an unsynchronized
+``inc`` from two threads loses updates at the bytecode level even
+under the GIL.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 
 
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: threading.Lock | None = None):
         self.name = name
         self.value = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A last-written value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: threading.Lock | None = None):
         self.name = name
         self.value: float | None = None
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
     """Streaming count/sum/min/max over observed values."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: threading.Lock | None = None):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -77,27 +91,34 @@ class MetricsRegistry:
     """Named metrics plus a per-query log, dumpable as JSON or text."""
 
     def __init__(self):
+        # guards get-or-create; each metric carries its own update lock
+        # (metrics are recorded per query, not per kernel, so the
+        # contention cost is negligible)
+        self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self.query_log: list[dict] = []
 
     def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
-        if metric is None:
-            metric = self._counters[name] = Counter(name)
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
         return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
-        if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
         return metric
 
     def histogram(self, name: str) -> Histogram:
-        metric = self._histograms.get(name)
-        if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
         return metric
 
     def record_query(self, **entry) -> None:

@@ -10,10 +10,20 @@ charges nothing to the device.
 The default tracer everywhere is :data:`NULL_TRACER`, whose methods do
 nothing; instrumentation sites guard hot paths with ``tracer.enabled``
 so the disabled mode costs one attribute check.
+
+Thread safety: every recording operation (begin/end/leaf and the loop
+helpers) is atomic under the tracer's internal lock, so concurrent
+threads can never corrupt the span forest, lose a span, or tear the
+``dropped`` counter.  The *nesting* of structural spans, however,
+follows one shared stack — interleaved begin/end pairs from two
+threads would parent each other's spans — so concurrent serving keeps
+whole query executions serialized under the session lock and only
+``leaf``-level events are meaningful from arbitrary threads.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 #: Categories rendered as begin/end pairs in the Chrome trace.  Their
@@ -173,6 +183,8 @@ class Tracer(NullTracer):
         self._device = None
         self._offset = 0.0
         self._max_ts = 0.0
+        # reentrant: the loop helpers (close_siblings, finish) call end()
+        self._lock = threading.RLock()
 
     # -- clock ----------------------------------------------------------
 
@@ -183,27 +195,29 @@ class Tracer(NullTracer):
 
     def bind_device(self, device) -> None:
         """Start reading the clock from ``device`` (rebased)."""
-        self._offset = self._max_ts
-        self._device = device
+        with self._lock:
+            self._offset = self._max_ts
+            self._device = device
 
     # -- spans ----------------------------------------------------------
 
     def begin(self, name: str, category: str, **attrs) -> Span:
-        ts = self.now()
-        if ts > self._max_ts:
-            self._max_ts = ts
-        span = Span(name, category, ts, attrs or None)
-        span._wall = time.perf_counter()
-        if self._count >= self._max_spans:
-            self.dropped += 1
-        else:
-            self._count += 1
-            if self._stack:
-                self._stack[-1].children.append(span)
+        with self._lock:
+            ts = self.now()
+            if ts > self._max_ts:
+                self._max_ts = ts
+            span = Span(name, category, ts, attrs or None)
+            span._wall = time.perf_counter()
+            if self._count >= self._max_spans:
+                self.dropped += 1
             else:
-                self.roots.append(span)
-        self._stack.append(span)
-        return span
+                self._count += 1
+                if self._stack:
+                    self._stack[-1].children.append(span)
+                else:
+                    self.roots.append(span)
+            self._stack.append(span)
+            return span
 
     def end(self, span: Span | None = None, **attrs) -> Span | None:
         """Close the top span, or pop down to (and close) ``span``.
@@ -212,23 +226,24 @@ class Tracer(NullTracer):
         that was left dangling — the stack discipline an exception path
         relies on.
         """
-        if span is not None and span not in self._stack:
+        with self._lock:
+            if span is not None and span not in self._stack:
+                return None
+            ts = self.now()
+            if ts > self._max_ts:
+                self._max_ts = ts
+            while self._stack:
+                top = self._stack.pop()
+                top.end_ns = ts
+                if top is span or span is None:
+                    if attrs:
+                        top.set_attrs(**attrs)
+                    if top.category in ("query", "phase") and top._wall is not None:
+                        top.set_attrs(
+                            wall_us=(time.perf_counter() - top._wall) * 1e6
+                        )
+                    return top
             return None
-        ts = self.now()
-        if ts > self._max_ts:
-            self._max_ts = ts
-        while self._stack:
-            top = self._stack.pop()
-            top.end_ns = ts
-            if top is span or span is None:
-                if attrs:
-                    top.set_attrs(**attrs)
-                if top.category in ("query", "phase") and top._wall is not None:
-                    top.set_attrs(
-                        wall_us=(time.perf_counter() - top._wall) * 1e6
-                    )
-                return top
-        return None
 
     def span(self, name: str, category: str, **attrs) -> _SpanContext:
         return _SpanContext(self, self.begin(name, category, **attrs))
@@ -238,22 +253,23 @@ class Tracer(NullTracer):
 
         Called *after* the charge, so the event ends at ``now()``.
         """
-        end_ns = self.now()
-        if end_ns > self._max_ts:
-            self._max_ts = end_ns
-        parent = self._stack[-1] if self._stack else None
-        if category == "kernel" and parent is not None:
-            parent.kernel_launches += 1
-        if self._count >= self._max_spans:
-            self.dropped += 1
-            return
-        self._count += 1
-        span = Span(name, category, end_ns - duration_ns, attrs or None)
-        span.end_ns = end_ns
-        if parent is not None:
-            parent.children.append(span)
-        else:
-            self.roots.append(span)
+        with self._lock:
+            end_ns = self.now()
+            if end_ns > self._max_ts:
+                self._max_ts = end_ns
+            parent = self._stack[-1] if self._stack else None
+            if category == "kernel" and parent is not None:
+                parent.kernel_launches += 1
+            if self._count >= self._max_spans:
+                self.dropped += 1
+                return
+            self._count += 1
+            span = Span(name, category, end_ns - duration_ns, attrs or None)
+            span.end_ns = end_ns
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
 
     # -- loop discipline --------------------------------------------------
 
@@ -263,8 +279,9 @@ class Tracer(NullTracer):
         The runtime has no explicit "subquery done" hook — the next
         subquery (or the predicate application) closes its predecessor.
         """
-        while self._stack and self._stack[-1].category == category:
-            self.end()
+        with self._lock:
+            while self._stack and self._stack[-1].category == category:
+                self.end()
 
     def end_iteration(self, **attrs) -> Span | None:
         """Close the innermost open iteration span, if any.
@@ -272,14 +289,16 @@ class Tracer(NullTracer):
         Stops at subquery/batch/phase boundaries so a store inside a
         vectorized batch never closes an *enclosing* loop's iteration.
         """
-        for span in reversed(self._stack):
-            if span.category == "iteration":
-                return self.end(span, **attrs)
-            if span.category in _BOUNDARY_CATEGORIES:
-                return None
-        return None
+        with self._lock:
+            for span in reversed(self._stack):
+                if span.category == "iteration":
+                    return self.end(span, **attrs)
+                if span.category in _BOUNDARY_CATEGORIES:
+                    return None
+            return None
 
     def finish(self) -> None:
         """Close every span still open (end of a trace session)."""
-        while self._stack:
-            self.end()
+        with self._lock:
+            while self._stack:
+                self.end()

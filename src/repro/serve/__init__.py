@@ -2,11 +2,22 @@
 
 One :class:`EngineSession` owns the simulated device for its whole
 lifetime; the :class:`QueryScheduler` drains a submission queue over
-it across modelled concurrent streams.  See
-:mod:`repro.serve.session` and :mod:`repro.serve.scheduler` for the
-model, and ``python -m repro.cli serve`` for the command-line entry.
+it across modelled concurrent streams, and the :class:`AsyncEngine`
+executes submissions for real on a worker pool (one worker per
+modelled stream) with admission control, deadlines and backpressure.
+See :mod:`repro.serve.session`, :mod:`repro.serve.scheduler` and
+:mod:`repro.serve.concurrent` for the model, and
+``python -m repro.cli serve`` for the command-line entry.
 """
 
+from .concurrent import (
+    AdmissionController,
+    AsyncEngine,
+    BackpressureError,
+    DeadlineExceeded,
+    QueryCancelled,
+    QueryTicket,
+)
 from .plancache import PlanCache, normalize_sql
 from .scheduler import (
     PAPER_MIX,
@@ -18,10 +29,20 @@ from .scheduler import (
     split_statements,
 )
 from .session import EngineSession, SessionPrepared, render_param
+from .threadguard import ConcurrencyViolation, OwnedLock, ThreadGuard
 
 __all__ = [
+    "AdmissionController",
     "AdmissionError",
+    "AsyncEngine",
+    "BackpressureError",
+    "ConcurrencyViolation",
+    "DeadlineExceeded",
     "EngineSession",
+    "OwnedLock",
+    "QueryCancelled",
+    "QueryTicket",
+    "ThreadGuard",
     "PAPER_MIX",
     "PlanCache",
     "QueryScheduler",

@@ -1,0 +1,684 @@
+"""Concurrent real execution behind the scheduler: the AsyncEngine.
+
+PR 4's :class:`~repro.serve.scheduler.QueryScheduler` only *models*
+multi-stream placement — queries execute serially on the calling
+thread.  The :class:`AsyncEngine` executes them **for real** on a
+worker pool, one worker per modelled stream, all sharing one
+:class:`~repro.serve.session.EngineSession` (device, pools, residency,
+plan/index caches) under the session's lock:
+
+* **submission** goes through a thread-safe *bounded* queue; a full
+  queue rejects with :class:`BackpressureError` carrying a
+  ``retry_after_s`` estimate (queue depth x recent service time);
+* **planning** runs concurrently across workers — the plan cache is
+  internally locked and the catalog is read-only;
+* **admission** reserves a query's modelled working set against HBM
+  capacity in the :class:`AdmissionController` before the query may
+  touch the device: oversized queries are rejected outright, queries
+  that do not fit next to the reservations in flight wait their turn
+  (FIFO within a priority, higher priorities first);
+* **execution** holds the session lock for the whole run — the
+  modelled device, like a single real GPU stream, runs one query at a
+  time — while the modelled per-stream clocks place each measured
+  duration exactly as the PR 4 scheduler would, so at one worker the
+  modelled totals are bit-identical to the modelled scheduler and to
+  a solo engine;
+* **deadlines** cancel a query that has not reached the device in
+  time, and explicit :meth:`QueryTicket.cancel` works until device
+  execution starts; both always release any admission reservation;
+* **drain/shutdown**: :meth:`AsyncEngine.drain` blocks until every
+  accepted query is terminal, :meth:`AsyncEngine.shutdown` stops the
+  workers (optionally draining first; queued work is cancelled, never
+  silently dropped).
+
+Lock hierarchy (acquire strictly downward, release before going up):
+
+    queue condition  >  admission condition  >  session lock
+                                                >  plan-cache / metrics / tracer locks
+
+Results carry both clocks: modelled placement (``start_ns``,
+``duration_ns``, ``queue_wait_ns`` on the modelled per-stream
+timeline) and wall-clock (``wall_wait_s``, ``wall_run_s``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core import QueryResult
+from ..core.executor import PreparedQuery
+from ..errors import ReproError
+from .scheduler import (
+    AdmissionError,
+    QueryScheduler,
+    ScheduledQuery,
+    WorkloadReport,
+)
+from .session import EngineSession
+
+
+class BackpressureError(ReproError):
+    """The submission queue is full; retry after ``retry_after_s``."""
+
+    def __init__(self, depth: int, retry_after_s: float):
+        super().__init__(
+            f"submission queue is full ({depth} queued); "
+            f"retry in ~{retry_after_s:.3f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class QueryCancelled(ReproError):
+    """The query was cancelled before device execution started."""
+
+
+class DeadlineExceeded(QueryCancelled):
+    """The query's deadline passed before it reached the device."""
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+
+class AdmissionTicket:
+    """One query's place in the admission queue."""
+
+    __slots__ = ("seq", "nbytes", "priority", "state")
+
+    def __init__(self, seq: int, nbytes: int, priority: int):
+        self.seq = seq
+        self.nbytes = nbytes
+        self.priority = priority
+        self.state = "waiting"  # 'admitted' | 'cancelled' | 'released'
+
+
+class AdmissionController:
+    """Reservations of modelled HBM, FIFO-fair within a priority.
+
+    A reservation is a query's preload working set; the sum of live
+    reservations never exceeds ``capacity_bytes`` (``high_water``
+    records the proven maximum).  Waiters are served strictly in
+    ``(priority desc, arrival)`` order — head-of-line within a
+    priority, so a large query is never starved by smaller late
+    arrivals.  Cancellation (explicit or by timeout) always removes
+    the waiter or releases the reservation; nothing leaks.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_bytes
+        self.in_use = 0
+        self.high_water = 0
+        self.admitted_count = 0
+        self.cancelled_count = 0
+        self._cond = threading.Condition()
+        self._seq = 0
+        self._waiters: list[AdmissionTicket] = []
+
+    def enqueue(self, nbytes: int, priority: int = 0) -> AdmissionTicket:
+        """Join the admission queue (position is assigned here).
+
+        Raises:
+            AdmissionError: the request can never fit on the device.
+        """
+        if nbytes > self.capacity:
+            raise AdmissionError(
+                f"working set {nbytes} B exceeds device capacity "
+                f"{self.capacity} B"
+            )
+        with self._cond:
+            ticket = AdmissionTicket(self._seq, nbytes, priority)
+            self._seq += 1
+            self._waiters.append(ticket)
+            # a new arrival can be the head (higher priority): wake waiters
+            self._cond.notify_all()
+            return ticket
+
+    def _head(self) -> AdmissionTicket | None:
+        head = None
+        for waiter in self._waiters:
+            if head is None or (-waiter.priority, waiter.seq) < (
+                -head.priority, head.seq
+            ):
+                head = waiter
+        return head
+
+    def wait(
+        self,
+        ticket: AdmissionTicket,
+        timeout: float | None = None,
+        cancelled=None,
+    ) -> AdmissionTicket:
+        """Block until ``ticket`` is admitted.
+
+        ``cancelled`` is an optional zero-argument callable polled on
+        every wakeup (the engine passes the query's cancel flag).
+
+        Raises:
+            QueryCancelled: the ticket was cancelled while waiting.
+            DeadlineExceeded: ``timeout`` elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if ticket.state == "cancelled" or (
+                    cancelled is not None and cancelled()
+                ):
+                    self._drop(ticket)
+                    raise QueryCancelled("admission wait cancelled")
+                if (
+                    ticket.state == "waiting"
+                    and self._head() is ticket
+                    and self.in_use + ticket.nbytes <= self.capacity
+                ):
+                    ticket.state = "admitted"
+                    self._waiters.remove(ticket)
+                    self.in_use += ticket.nbytes
+                    if self.in_use > self.high_water:
+                        self.high_water = self.in_use
+                    self.admitted_count += 1
+                    assert self.in_use <= self.capacity
+                    # the next waiter may fit beside this reservation
+                    self._cond.notify_all()
+                    return ticket
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._drop(ticket)
+                        raise DeadlineExceeded(
+                            "deadline passed while waiting for admission"
+                        )
+                self._cond.wait(remaining)
+
+    def admit(
+        self, nbytes: int, priority: int = 0, timeout: float | None = None,
+    ) -> AdmissionTicket:
+        """``enqueue`` + ``wait`` in one call."""
+        return self.wait(self.enqueue(nbytes, priority), timeout)
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return an admitted reservation to the pool (idempotent)."""
+        with self._cond:
+            if ticket.state == "admitted":
+                ticket.state = "released"
+                self.in_use -= ticket.nbytes
+                self._cond.notify_all()
+
+    def cancel(self, ticket: AdmissionTicket) -> None:
+        """Cancel a waiter, or release an already-admitted reservation."""
+        with self._cond:
+            if ticket.state == "waiting":
+                self._drop(ticket)
+                self._cond.notify_all()
+            elif ticket.state == "admitted":
+                ticket.state = "cancelled"
+                self.in_use -= ticket.nbytes
+                self._cond.notify_all()
+
+    def _drop(self, ticket: AdmissionTicket) -> None:
+        """Remove a waiter from the queue (caller holds the condition)."""
+        if ticket.state == "waiting":
+            ticket.state = "cancelled"
+            self.cancelled_count += 1
+            try:
+                self._waiters.remove(ticket)
+            except ValueError:
+                pass
+
+    @property
+    def waiting(self) -> int:
+        with self._cond:
+            return len(self._waiters)
+
+
+# ---------------------------------------------------------------------------
+# the query handle
+# ---------------------------------------------------------------------------
+
+_TERMINAL = ("done", "rejected", "error", "cancelled")
+
+
+class QueryTicket:
+    """A submitted query: a future over both clocks.
+
+    ``status`` walks ``queued -> waiting -> running ->`` one of
+    ``done / rejected / error / cancelled``.  ``result`` is the
+    :class:`~repro.core.executor.QueryResult` once done; the modelled
+    placement (``stream``, ``start_ns``, ``duration_ns``,
+    ``queue_wait_ns``) and the wall clock (``wall_wait_s`` submit to
+    device, ``wall_run_s`` on the device) are both recorded.
+    """
+
+    def __init__(self, seq: int, sql: str, mode: str | None,
+                 priority: int, deadline: float | None):
+        self.seq = seq
+        self.sql = sql
+        self.mode = mode
+        self.priority = priority
+        self.deadline = deadline  # absolute time.monotonic() or None
+        self.status = "queued"
+        self.detail = ""
+        self.result: QueryResult | None = None
+        self.plan_cache_hit = False
+        self.working_set_bytes = 0
+        self.worker: int | None = None
+        self.stream: int | None = None
+        self.start_ns = 0.0
+        self.duration_ns = 0.0
+        self.queue_wait_ns = 0.0
+        self.wall_submit_s = time.perf_counter()
+        self.wall_start_s: float | None = None
+        self.wall_end_s: float | None = None
+        self._event = threading.Event()
+        self._cancel = False
+        self._engine: "AsyncEngine | None" = None
+        self._admission: AdmissionTicket | None = None
+
+    @property
+    def wall_wait_s(self) -> float:
+        if self.wall_start_s is None:
+            return 0.0
+        return self.wall_start_s - self.wall_submit_s
+
+    @property
+    def wall_run_s(self) -> float:
+        if self.wall_start_s is None or self.wall_end_s is None:
+            return 0.0
+        return self.wall_end_s - self.wall_start_s
+
+    def done(self) -> bool:
+        return self.status in _TERMINAL
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the query is terminal; False on timeout."""
+        return self._event.wait(timeout)
+
+    def cancel(self) -> bool:
+        """Best-effort cancellation; True if the query will not run.
+
+        A query already executing on the device cannot be stopped (the
+        modelled run is one Python call); cancelling it returns False.
+        """
+        engine = self._engine
+        if engine is None:
+            return False
+        with engine._work:
+            if self.status in ("queued", "waiting"):
+                self._cancel = True
+                admission = self._admission
+            else:
+                return False
+        if admission is not None:
+            engine._admission.cancel(admission)
+        # wake the admission waiters so the cancel flag is observed even
+        # when the ticket never enqueued for admission
+        with engine._admission._cond:
+            engine._admission._cond.notify_all()
+        return True
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class AsyncEngine:
+    """Concurrent query execution over one shared EngineSession.
+
+    One worker thread per modelled stream pulls from the bounded
+    submission queue, plans concurrently, reserves HBM through the
+    :class:`AdmissionController`, and executes under the session lock.
+    ``guard=`` installs a :class:`~repro.serve.threadguard.ThreadGuard`
+    over the session's device state for race detection in tests.
+    """
+
+    def __init__(
+        self,
+        session: EngineSession,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        guard=None,
+        autostart: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.session = session
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self._admission = AdmissionController(session.device_capacity_bytes)
+        self._work = threading.Condition()
+        self._pending: list[QueryTicket] = []
+        self._tickets: list[QueryTicket] = []
+        self._seq = 0
+        self._outstanding = 0
+        self._accepting = True
+        self._stop = False
+        self._service_ema_s: float | None = None
+        # modelled per-stream clocks + in-flight placements, guarded by
+        # the session lock (only the executing worker touches them)
+        self._free_at = [0.0] * workers
+        self._model_in_flight: list[tuple[float, int]] = []
+        self.bus_ns = 0.0
+        self.guard = guard
+        if guard is not None:
+            guard.install_session(session)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,),
+                name=f"repro-worker-{i}", daemon=True,
+            )
+            for i in range(workers)
+        ]
+        self._started = False
+        if autostart:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def __enter__(self) -> "AsyncEngine":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> bool:
+        self.shutdown(drain=exc_type is None)
+        return False
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every accepted query is terminal.
+
+        Returns False if ``timeout`` elapsed first (queries may still
+        be running — this is the stress tests' deadlock detector).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._work:
+            while self._outstanding > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                if not self._work.wait(remaining):
+                    return False
+            return True
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the workers (idempotent).
+
+        ``drain=True`` first waits for accepted work; ``drain=False``
+        cancels everything still queued.  Either way no ticket is left
+        non-terminal and the worker threads are joined.
+        """
+        with self._work:
+            self._accepting = False
+        if drain and self._started:
+            self.drain(timeout)
+        with self._work:
+            abandoned, self._pending = self._pending, []
+            self._stop = True
+            self._work.notify_all()
+        for ticket in abandoned:
+            self._finish(ticket, "cancelled", detail="engine shut down")
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout)
+        if self.guard is not None:
+            self.guard.uninstall()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        mode: str | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> QueryTicket:
+        """Enqueue a statement; returns its ticket.
+
+        Raises:
+            BackpressureError: the bounded queue is full; the error
+                carries a ``retry_after_s`` estimate.
+            RuntimeError: the engine is shut down.
+        """
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        with self._work:
+            if not self._accepting:
+                raise RuntimeError("engine is shut down")
+            if len(self._pending) >= self.queue_capacity:
+                raise BackpressureError(
+                    len(self._pending), self._retry_after_locked()
+                )
+            ticket = QueryTicket(self._seq, sql, mode, priority, deadline)
+            ticket._engine = self
+            self._seq += 1
+            self._pending.append(ticket)
+            self._tickets.append(ticket)
+            self._outstanding += 1
+            self._work.notify()
+            return ticket
+
+    def submit_all(self, statements) -> list[QueryTicket]:
+        return [self.submit(sql) for sql in statements]
+
+    def _retry_after_locked(self) -> float:
+        service = self._service_ema_s if self._service_ema_s else 0.05
+        return max(0.001, len(self._pending) * service / self.workers)
+
+    # -- the worker ------------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while True:
+            ticket = self._next_ticket()
+            if ticket is None:
+                return
+            try:
+                self._run_ticket(ticket, worker_id)
+            except BaseException as exc:  # never kill a worker silently
+                if not ticket.done():
+                    self._finish(
+                        ticket, "error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+
+    def _next_ticket(self) -> QueryTicket | None:
+        with self._work:
+            while True:
+                if self._pending:
+                    best = min(
+                        self._pending,
+                        key=lambda t: (-t.priority, t.seq),
+                    )
+                    self._pending.remove(best)
+                    best.status = "waiting"
+                    return best
+                if self._stop:
+                    return None
+                self._work.wait()
+
+    def _run_ticket(self, ticket: QueryTicket, worker_id: int) -> None:
+        session = self.session
+        if ticket._cancel:
+            self._finish(ticket, "cancelled", detail="cancelled while queued")
+            return
+        if ticket.deadline is not None and time.monotonic() > ticket.deadline:
+            self._finish(
+                ticket, "cancelled", detail="deadline passed while queued",
+            )
+            return
+        # planning runs concurrently across workers: only the plan
+        # cache's own lock and the read-only catalog are involved
+        try:
+            prepared, hit = session.lookup_or_prepare(ticket.sql, ticket.mode)
+            ticket.working_set_bytes = session.working_set_bytes(prepared)
+            admission = self._admission.enqueue(
+                ticket.working_set_bytes, ticket.priority
+            )
+        except AdmissionError as exc:
+            self._finish(ticket, "rejected", detail=str(exc))
+            return
+        except ReproError as exc:
+            self._finish(
+                ticket, "error", detail=f"{type(exc).__name__}: {exc}",
+            )
+            return
+        ticket._admission = admission
+        timeout = None
+        if ticket.deadline is not None:
+            timeout = max(0.0, ticket.deadline - time.monotonic())
+        try:
+            self._admission.wait(
+                admission, timeout=timeout, cancelled=lambda: ticket._cancel,
+            )
+        except DeadlineExceeded as exc:
+            self._finish(ticket, "cancelled", detail=str(exc))
+            return
+        except QueryCancelled as exc:
+            self._finish(ticket, "cancelled", detail=str(exc))
+            return
+        try:
+            self._execute(ticket, prepared, hit, worker_id)
+        finally:
+            self._admission.release(admission)
+
+    def _execute(
+        self,
+        ticket: QueryTicket,
+        prepared: PreparedQuery,
+        plan_cache_hit: bool,
+        worker_id: int,
+    ) -> None:
+        session = self.session
+        # last cancellation checkpoint: the status flip to 'running'
+        # shares the queue lock with QueryTicket.cancel, so a True
+        # return from cancel() guarantees the device is never touched
+        with self._work:
+            if ticket._cancel:
+                cancelled = True
+            else:
+                cancelled = False
+                ticket.status = "running"
+                ticket.worker = ticket.stream = worker_id
+        if cancelled:
+            self._finish(
+                ticket, "cancelled", detail="cancelled before execution",
+            )
+            return
+        ticket.wall_start_s = time.perf_counter()
+        with session.lock:
+            # modelled placement, exactly the PR 4 list-scheduling rule:
+            # this stream's clock, pushed past modelled completions while
+            # the in-flight working sets would overflow HBM
+            start = QueryScheduler._admit(
+                self._free_at[worker_id],
+                ticket.working_set_bytes,
+                session.device_capacity_bytes,
+                self._model_in_flight,
+            )
+            result = session.run(
+                prepared,
+                plan_cache_hit=plan_cache_hit,
+                span_attrs={
+                    "worker": worker_id, "stream": worker_id,
+                    "seq": ticket.seq,
+                },
+            )
+            ticket.start_ns = start
+            ticket.duration_ns = result.stats.total_ns
+            ticket.queue_wait_ns = start
+            self._free_at[worker_id] = start + result.stats.total_ns
+            self._model_in_flight.append(
+                (start + result.stats.total_ns, ticket.working_set_bytes)
+            )
+            self.bus_ns += result.stats.transfer_time_ns
+        ticket.wall_end_s = time.perf_counter()
+        ticket.result = result
+        ticket.plan_cache_hit = plan_cache_hit
+        self._finish(ticket, "done")
+
+    def _finish(self, ticket: QueryTicket, status: str, detail: str = "") -> None:
+        with self._work:
+            ticket.status = status
+            if detail:
+                ticket.detail = detail
+            if ticket.wall_end_s is None:
+                ticket.wall_end_s = time.perf_counter()
+                if ticket.wall_start_s is None:
+                    ticket.wall_start_s = ticket.wall_end_s
+            if status == "done":
+                run_s = ticket.wall_run_s
+                self._service_ema_s = (
+                    run_s if self._service_ema_s is None
+                    else 0.8 * self._service_ema_s + 0.2 * run_s
+                )
+            self._outstanding -= 1
+            ticket._event.set()
+            self._work.notify_all()
+        metrics = self.session.metrics
+        if metrics is not None:
+            if status == "done":
+                metrics.counter("serve.queries.admitted").inc()
+                metrics.counter(f"serve.stream.{ticket.stream}.queries").inc()
+                metrics.histogram("serve.queue_wait_ms").observe(
+                    ticket.queue_wait_ns / 1e6
+                )
+                metrics.histogram("serve.wall_run_ms").observe(
+                    ticket.wall_run_s * 1e3
+                )
+            else:
+                metrics.counter(f"serve.queries.{status}").inc()
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self) -> WorkloadReport:
+        """The batch as a :class:`WorkloadReport` (one lane per worker).
+
+        Same shape the modelled scheduler produces — ``to_dict``,
+        ``chrome_trace``, ``summary`` all apply — with wall-clock
+        timings alongside the modelled ones on every entry.
+        """
+        with self._work:
+            tickets = list(self._tickets)
+            bus_ns = self.bus_ns
+        report = WorkloadReport(streams=self.workers, bus_ns=bus_ns)
+        for ticket in sorted(tickets, key=lambda t: t.seq):
+            report.queries.append(ScheduledQuery(
+                seq=ticket.seq,
+                sql=ticket.sql,
+                mode=ticket.mode,
+                status=ticket.status if ticket.done() else "pending",
+                stream=ticket.stream,
+                start_ns=ticket.start_ns,
+                duration_ns=ticket.duration_ns,
+                queue_wait_ns=ticket.queue_wait_ns,
+                working_set_bytes=ticket.working_set_bytes,
+                plan_cache_hit=ticket.plan_cache_hit,
+                detail=ticket.detail,
+                result=ticket.result,
+                wall_wait_ms=ticket.wall_wait_s * 1e3,
+                wall_run_ms=ticket.wall_run_s * 1e3,
+            ))
+        metrics = self.session.metrics
+        if metrics is not None and report.completed:
+            metrics.gauge("serve.makespan_ms").set(report.makespan_ns / 1e6)
+            metrics.gauge("serve.serial_ms").set(report.serial_ns / 1e6)
+            metrics.gauge("serve.speedup").set(report.speedup)
+            metrics.gauge("serve.workers").set(self.workers)
+        return report
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission

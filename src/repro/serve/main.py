@@ -5,6 +5,7 @@ Usage:
     python -m repro.cli serve --paper-mix --streams 4 --scale 0.1
     python -m repro.cli serve --workload queries.sql --report out.json
     python -m repro.cli serve --paper-mix --trace streams.json --verify-solo
+    python -m repro.cli serve --paper-mix --concurrency 4 --scale 0.1
 
 ``--workload FILE`` reads ``;``-separated statements; ``--paper-mix``
 uses the built-in 10-query mixed paper workload.  ``--report`` writes
@@ -12,6 +13,12 @@ the full :class:`WorkloadReport` JSON, ``--trace`` a per-stream Chrome
 trace.  ``--verify-solo`` re-runs each *distinct* statement on a fresh
 single-query engine and checks the fresh-session latency is
 bit-identical — the refactor's no-regression contract.
+
+``--concurrency N`` switches from the modelled-placement scheduler to
+the :class:`~repro.serve.concurrent.AsyncEngine`: N worker threads
+(one per modelled stream) execute the workload *for real* against the
+shared session, and the report carries wall-clock timings alongside
+the modelled placement.
 """
 
 from __future__ import annotations
@@ -39,6 +46,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="TPC-H micro scale factor (default 1)")
     parser.add_argument("--streams", type=int, default=2,
                         help="modelled device streams (default 2)")
+    parser.add_argument("--concurrency", type=int, default=0, metavar="N",
+                        help="execute for real on N worker threads (one per "
+                        "modelled stream); 0 = modelled placement only")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="drain timeout in seconds for --concurrency "
+                        "(default 300)")
     parser.add_argument("--mode", choices=("auto", "nested", "unnested"),
                         default="auto", help="execution mode")
     parser.add_argument("--device", choices=("v100", "gtx1080"),
@@ -101,6 +114,9 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.streams < 1:
         print("error: --streams must be >= 1", file=sys.stderr)
         return 2
+    if args.concurrency < 0:
+        print("error: --concurrency must be >= 0", file=sys.stderr)
+        return 2
     if args.paper_mix:
         statements = paper_mix_statements()
     else:
@@ -130,10 +146,26 @@ def serve_main(argv: list[str] | None = None) -> int:
         catalog_factory(), device=device, options=EngineOptions(),
         mode=args.mode, metrics=metrics,
     )
-    scheduler = QueryScheduler(session, streams=args.streams)
-    scheduler.submit_all(statements)
     try:
-        report = scheduler.run()
+        if args.concurrency:
+            from .concurrent import AsyncEngine
+
+            engine = AsyncEngine(session, workers=args.concurrency)
+            engine.submit_all(statements)
+            drained = engine.drain(timeout=args.timeout)
+            engine.shutdown(drain=False, timeout=10.0)
+            if not drained:
+                print(
+                    f"error: workload did not drain within "
+                    f"{args.timeout:.0f}s",
+                    file=sys.stderr,
+                )
+                return 1
+            report = engine.report()
+        else:
+            scheduler = QueryScheduler(session, streams=args.streams)
+            scheduler.submit_all(statements)
+            report = scheduler.run()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -143,16 +175,26 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.verbose:
         for query in report.queries:
             if query.status == "done":
+                wall = (
+                    f" wall {query.wall_run_ms:7.2f} ms"
+                    if args.concurrency else ""
+                )
                 print(
                     f"  [{query.seq:2d}] stream {query.stream} "
                     f"start {query.start_ns / 1e6:9.3f} ms "
                     f"dur {query.duration_ns / 1e6:9.3f} ms "
-                    f"{'hit ' if query.plan_cache_hit else 'miss'} "
+                    f"{'hit ' if query.plan_cache_hit else 'miss'}{wall} "
                     f"{normalize_sql(query.sql)[:50]}"
                 )
             else:
                 print(f"  [{query.seq:2d}] {query.status}: {query.detail}")
     print(report.summary())
+    if args.concurrency:
+        wall_s = sum(q.wall_run_ms for q in report.completed) / 1e3
+        print(
+            f"real execution: {args.concurrency} workers, "
+            f"{wall_s:.2f} s device wall time"
+        )
     print(
         "plan cache: {hits} hits / {misses} misses "
         "({hit_ratio:.0%})".format(**session.plan_cache.stats())

@@ -19,10 +19,17 @@ dominate the time not spent on the device, so the session keeps every
   row counts, all of which a reload invalidates).
 
 Entries are evicted LRU beyond ``capacity``.
+
+The cache is internally locked: a probe mutates the LRU order and the
+hit/miss counters, and concurrent serving workers probe it outside the
+session's device lock (planning is the part of a query that genuinely
+runs in parallel).  Two workers missing the same key both plan and
+both put — the second put wins; wasted work, never a wrong plan.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..core.executor import PreparedQuery
@@ -41,6 +48,7 @@ class PlanCache:
         if capacity < 1:
             raise ValueError("plan cache capacity must be positive")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, PreparedQuery] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -58,26 +66,29 @@ class PlanCache:
         return key in self._entries
 
     def get(self, key: tuple) -> PreparedQuery | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, prepared: PreparedQuery) -> None:
-        self._entries[key] = prepared
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = prepared
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate_all(self) -> None:
         """Drop every entry (catalog changed under the cache)."""
-        if self._entries:
-            self._entries.clear()
-        self.invalidations += 1
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+            self.invalidations += 1
 
     @property
     def hit_ratio(self) -> float:

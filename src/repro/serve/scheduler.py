@@ -44,7 +44,7 @@ class ScheduledQuery:
     seq: int
     sql: str
     mode: str | None
-    status: str = "pending"  # 'done' | 'rejected' | 'error'
+    status: str = "pending"  # 'done' | 'rejected' | 'error' | 'cancelled'
     stream: int | None = None
     start_ns: float = 0.0
     duration_ns: float = 0.0
@@ -53,6 +53,10 @@ class ScheduledQuery:
     plan_cache_hit: bool = False
     detail: str = ""
     result: QueryResult | None = None
+    # wall-clock timings; zero under the modelled-only scheduler, real
+    # under the concurrent engine (repro.serve.concurrent)
+    wall_wait_ms: float = 0.0
+    wall_run_ms: float = 0.0
 
     @property
     def end_ns(self) -> float:
@@ -80,6 +84,8 @@ class ScheduledQuery:
                 self.result.plan_choice if self.result is not None else None
             ),
             "detail": self.detail,
+            "wall_wait_ms": self.wall_wait_ms,
+            "wall_run_ms": self.wall_run_ms,
         }
 
 
@@ -98,6 +104,10 @@ class WorkloadReport:
     @property
     def rejected(self) -> list[ScheduledQuery]:
         return [q for q in self.queries if q.status == "rejected"]
+
+    @property
+    def cancelled(self) -> list[ScheduledQuery]:
+        return [q for q in self.queries if q.status == "cancelled"]
 
     @property
     def serial_ns(self) -> float:
@@ -126,6 +136,7 @@ class WorkloadReport:
             "streams": self.streams,
             "completed": len(self.completed),
             "rejected": len(self.rejected),
+            "cancelled": len(self.cancelled),
             "makespan_ms": self.makespan_ns / 1e6,
             "serial_ms": self.serial_ns / 1e6,
             "bus_ms": self.bus_ns / 1e6,
@@ -176,7 +187,8 @@ class WorkloadReport:
             f"makespan {self.makespan_ns / 1e6:.3f} ms vs serial "
             f"{self.serial_ns / 1e6:.3f} ms "
             f"({self.speedup:.2f}x, {self.queries_per_second:.1f} q/s"
-            f"{', %d rejected' % len(self.rejected) if self.rejected else ''})"
+            f"{', %d rejected' % len(self.rejected) if self.rejected else ''}"
+            f"{', %d cancelled' % len(self.cancelled) if self.cancelled else ''})"
         )
 
 

@@ -34,6 +34,7 @@ from ..gpu import Device, DeviceSpec, PoolSet, RawDeviceAllocator
 from ..obs.tracer import NULL_TRACER
 from ..storage import Catalog
 from .plancache import PlanCache
+from .threadguard import OwnedLock
 
 _PARAM_RE = re.compile(r"\$(\d+)")
 
@@ -97,7 +98,21 @@ class SessionPrepared:
 
 
 class EngineSession:
-    """Long-lived execution state shared by every query it serves."""
+    """Long-lived execution state shared by every query it serves.
+
+    Thread safety: the session carries an :class:`OwnedLock` (``lock``)
+    and every method that touches device state — :meth:`run`,
+    :meth:`close`, :meth:`stats`, catalog-version invalidation —
+    acquires it, so one session can serve many worker threads with the
+    device's single-threaded contract intact.  *Planning* deliberately
+    stays outside the critical section: :meth:`lookup_or_prepare`
+    touches only the internally-locked plan cache and the read-only
+    catalog, which is where real wall-clock concurrency lives (the
+    modelled device, like a real stream, executes one query at a
+    time).  The lock is re-entrant, so single-threaded callers and the
+    modelled :class:`~repro.serve.scheduler.QueryScheduler` are
+    unchanged — at one worker the modelled totals stay bit-identical.
+    """
 
     def __init__(
         self,
@@ -110,6 +125,7 @@ class EngineSession:
         plan_cache_capacity: int = 128,
     ):
         self.catalog = catalog
+        self.lock = OwnedLock()
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
         self.engine = NestGPU(
@@ -139,18 +155,19 @@ class EngineSession:
 
     def close(self) -> None:
         """Release the session's device state (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self.pools.release_all()
-        self.raw_alloc.free_all()
-        self.residency.release_all()
-        self.index_cache.clear()
-        if self._session_span is not None:
-            self.tracer.end(
-                self._session_span, queries=self.queries_run
-            )
-            self._session_span = None
+        with self.lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.pools.release_all()
+            self.raw_alloc.free_all()
+            self.residency.release_all()
+            self.index_cache.clear()
+            if self._session_span is not None:
+                self.tracer.end(
+                    self._session_span, queries=self.queries_run
+                )
+                self._session_span = None
 
     def __enter__(self) -> "EngineSession":
         return self
@@ -165,10 +182,15 @@ class EngineSession:
         """Invalidate everything derived from table data on reloads."""
         if self.catalog.version == self._catalog_version:
             return
-        self._catalog_version = self.catalog.version
-        self.plan_cache.invalidate_all()
-        self.index_cache.clear()
-        self.residency.release_all()
+        # invalidation touches device state (residency), so it runs in
+        # the critical section even when reached from the planning path
+        with self.lock:
+            if self.catalog.version == self._catalog_version:
+                return
+            self._catalog_version = self.catalog.version
+            self.plan_cache.invalidate_all()
+            self.index_cache.clear()
+            self.residency.release_all()
 
     def lookup_or_prepare(
         self, sql: str, mode: str | None = None, param_sig: tuple = (),
@@ -218,41 +240,51 @@ class EngineSession:
                 tracer.end(query_span)
 
     def run(
-        self, prepared: PreparedQuery, plan_cache_hit: bool = False,
+        self,
+        prepared: PreparedQuery,
+        plan_cache_hit: bool = False,
+        span_attrs: dict | None = None,
     ) -> QueryResult:
         """Execute a prepared query on the session's standing state.
 
         The device *clock* is reset first (per-query ``total_ns`` never
         includes a predecessor's time); the device *memory* — resident
-        columns, pool high-water — is deliberately carried over.
+        columns, pool high-water — is deliberately carried over.  The
+        whole run holds the session lock: the device, like one real
+        GPU stream, executes a single query at a time.
+
+        ``span_attrs`` is attached to the execute-phase span when
+        tracing — the concurrent engine tags worker/stream ids here.
         """
-        if self._closed:
-            raise RuntimeError("session is closed")
-        self._check_catalog()
-        self.device.reset(rebase_peak=True)
-        ctx = ExecutionContext(
-            self.catalog,
-            self.device,
-            self.engine.options,
-            pools=self.pools,
-            raw_alloc=self.raw_alloc,
-            residency=self.residency,
-            index_cache=self.index_cache,
-        )
-        try:
-            result = self.engine.run_prepared(
-                prepared, tracer=self.tracer, metrics=self.metrics, ctx=ctx,
+        with self.lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            self._check_catalog()
+            self.device.reset(rebase_peak=True)
+            ctx = ExecutionContext(
+                self.catalog,
+                self.device,
+                self.engine.options,
+                pools=self.pools,
+                raw_alloc=self.raw_alloc,
+                residency=self.residency,
+                index_cache=self.index_cache,
             )
-        finally:
-            # rewind pool tails / return raw allocations, keep residency;
-            # any modelled cost of this cleanup lands after the result's
-            # snapshot and is wiped by the next query's clock reset
-            ctx.end_query()
-        result.plan_cache_hit = plan_cache_hit
-        self.queries_run += 1
-        if self.metrics is not None:
-            self._record_session_metrics(result)
-        return result
+            try:
+                result = self.engine.run_prepared(
+                    prepared, tracer=self.tracer, metrics=self.metrics,
+                    ctx=ctx, span_attrs=span_attrs,
+                )
+            finally:
+                # rewind pool tails / return raw allocations, keep residency;
+                # any modelled cost of this cleanup lands after the result's
+                # snapshot and is wiped by the next query's clock reset
+                ctx.end_query()
+            result.plan_cache_hit = plan_cache_hit
+            self.queries_run += 1
+            if self.metrics is not None:
+                self._record_session_metrics(result)
+            return result
 
     # -- inspection (REPL parity with NestGPU) -----------------------------
 
@@ -306,6 +338,10 @@ class EngineSession:
 
     def stats(self) -> dict:
         """A JSON-friendly summary of the session's standing state."""
+        with self.lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         return {
             "session_id": self.session_id,
             "queries_run": self.queries_run,

@@ -68,6 +68,16 @@ def tpch_small() -> Catalog:
     return generate_tpch(2.0)
 
 
+@pytest.fixture
+def thread_guard():
+    """A ThreadGuard that always uninstalls, even on test failure."""
+    from repro.serve import ThreadGuard
+
+    guard = ThreadGuard()
+    yield guard
+    guard.uninstall()
+
+
 def rows_set(result) -> list:
     """Order-insensitive, float-tolerant canonical form of result rows."""
     def canon(row):
