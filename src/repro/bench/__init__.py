@@ -23,7 +23,13 @@ from .report import (
     print_sweep,
     speedup,
 )
-from .runner import Measurement, Sweep, run_sweep, run_throughput
+from .runner import (
+    Measurement,
+    Sweep,
+    run_net_throughput,
+    run_sweep,
+    run_throughput,
+)
 
 __all__ = [
     "FIG14_DEVICE_BYTES",

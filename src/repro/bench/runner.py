@@ -241,3 +241,97 @@ def run_throughput(
                     )
                 )
     return sweep
+
+
+def run_net_throughput(
+    scale_factors: Sequence[float],
+    workers_list: Sequence[int] = (2, 4),
+    statements: Sequence[str] | None = None,
+    policy: str = "fair",
+    mode: str = "auto",
+    seed: int = 0,
+    drain_timeout_s: float = 300.0,
+) -> Sweep:
+    """Socket-driven throughput: the full network stack under load.
+
+    Each cell starts a :class:`~repro.net.server.NetServer` over a
+    fresh session/engine, then drives the workload concurrently from
+    *two tenants* (alpha and beta of the demo roster) over real
+    sockets — frames, auth, QoS admission and the protocol row codec
+    are all on the measured path.  ``time_ms`` is the wall-clock batch
+    time; ``extra`` carries per-tenant rows/queries and the modelled
+    makespan for comparison with :func:`run_throughput`.
+    """
+    import threading
+    import time as _time
+
+    from ..net.client import ReproNetClient
+    from ..net.qos import demo_registry
+    from ..net.server import NetServer, ServerThread
+    from ..obs import MetricsRegistry
+    from ..serve import AsyncEngine, EngineSession, paper_mix_statements
+
+    sweep = Sweep("net-throughput")
+    for scale_factor in scale_factors:
+        catalog = generate_tpch(scale_factor, seed=seed)
+        workload = list(statements) if statements else paper_mix_statements()
+        for workers in workers_list:
+            registry = demo_registry()
+            with EngineSession(
+                catalog, mode=mode, metrics=MetricsRegistry(),
+            ) as session:
+                engine = AsyncEngine(
+                    session,
+                    workers=workers,
+                    policy=policy,
+                    tenant_budgets=registry.budgets(
+                        session.device_capacity_bytes
+                    ),
+                    tenant_weights=registry.weights(),
+                )
+                server = ServerThread(NetServer(engine, registry)).start()
+                failures: list[str] = []
+
+                def drive(token: str) -> None:
+                    try:
+                        with ReproNetClient(
+                            server.host, server.port, token=token,
+                        ) as client:
+                            for sql in workload:
+                                client.execute(sql)
+                    except Exception as exc:  # surfaced via the cell note
+                        failures.append(f"{token}: {exc}")
+
+                wall_start = _time.perf_counter()
+                threads = [
+                    threading.Thread(target=drive, args=(token,))
+                    for token in ("alpha-token", "beta-token")
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(drain_timeout_s)
+                wall_ms = (_time.perf_counter() - wall_start) * 1e3
+                engine.drain(timeout=drain_timeout_s)
+                report = engine.report()
+                tenants = engine.tenant_stats()
+                engine.shutdown(drain=False, timeout=10.0)
+                server.stop()
+                sweep.add(
+                    Measurement(
+                        f"{workers}-workers",
+                        scale_factor,
+                        wall_ms,
+                        rows=sum(t["rows"] for t in tenants.values()),
+                        note="; ".join(failures),
+                        extra={
+                            "policy": policy,
+                            "makespan_ms": report.makespan_ns / 1e6,
+                            "queries_per_second":
+                                len(report.completed) / (wall_ms / 1e3)
+                                if wall_ms else 0.0,
+                            "tenants": tenants,
+                        },
+                    )
+                )
+    return sweep

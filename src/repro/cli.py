@@ -10,6 +10,8 @@ Usage:
     python -m repro.cli fuzz --seed 7 --iterations 50   # differential fuzz
     python -m repro.cli serve --paper-mix --streams 4   # workload scheduler
     python -m repro.cli serve --paper-mix --concurrency 4  # real worker pool
+    python -m repro.cli net serve --port 7341 --demo-tenants  # socket server
+    python -m repro.cli net run --port 7341 --token alpha-token --paper-mix
 
 The REPL runs on one :class:`~repro.serve.EngineSession`: resident
 columns, pool high-water, subquery indexes and cached plans persist
@@ -210,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.main import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "net":
+        from .net.main import net_main
+
+        return net_main(argv[1:])
     args = build_parser().parse_args(argv)
     tracer = metrics = None
     if args.trace or args.analyze:

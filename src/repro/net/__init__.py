@@ -1,0 +1,43 @@
+"""The network front door: framed protocol, asyncio server, client.
+
+:mod:`repro.net.protocol` defines the length-prefixed frame codec and
+opcode set; :mod:`repro.net.server` runs an asyncio socket server
+bridging connections onto a :class:`~repro.serve.AsyncEngine`;
+:mod:`repro.net.client` is the blocking client library used by tests,
+the ``repro net run`` command and the bench harness;
+:mod:`repro.net.qos` maps tenant auth tokens to QoS budgets.  See
+``python -m repro.cli net serve`` / ``net run`` for the commands.
+"""
+
+from .client import NetClientError, NetResult, ReproNetClient
+from .protocol import (
+    ErrorCode,
+    FrameDecoder,
+    FrameError,
+    Opcode,
+    PROTOCOL_VERSION,
+    decode_rows,
+    encode_frame,
+    encode_rows,
+)
+from .qos import TenantRegistry, TenantSpec, demo_registry
+from .server import NetServer, ServerThread
+
+__all__ = [
+    "ErrorCode",
+    "FrameDecoder",
+    "FrameError",
+    "NetClientError",
+    "NetResult",
+    "NetServer",
+    "Opcode",
+    "PROTOCOL_VERSION",
+    "ReproNetClient",
+    "ServerThread",
+    "TenantRegistry",
+    "TenantSpec",
+    "decode_rows",
+    "demo_registry",
+    "encode_frame",
+    "encode_rows",
+]

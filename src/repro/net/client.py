@@ -1,0 +1,276 @@
+"""The blocking client library for the repro network protocol.
+
+:class:`ReproNetClient` owns one socket.  RESULT/ERROR frames arrive
+asynchronously and are tagged with the client-chosen ``query_id``, so
+the client routes: frames for queries other than the one currently
+awaited are parked in an inbox and delivered when asked.  That gives
+tests and callers a natural pipelined API::
+
+    with ReproNetClient(host, port, token="alpha-token") as client:
+        result = client.execute("SELECT ...")        # submit + wait
+        qid = client.execute("SELECT ...", wait=False)
+        client.cancel(qid)                           # race the engine
+        client.wait(qid)                             # -> NetClientError
+
+``execute`` transparently FETCHes every page; ``NetResult.rows`` are
+tuples with dates/floats/ints/strings restored bit-identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from ..errors import ReproError
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    Opcode,
+    PROTOCOL_VERSION,
+    decode_rows,
+    encode_frame,
+)
+
+
+class NetClientError(ReproError):
+    """A structured ERROR frame, surfaced as an exception."""
+
+    def __init__(self, payload: dict):
+        self.code = payload.get("code", "unknown")
+        self.retry_after_s = payload.get("retry_after_s")
+        self.query_id = payload.get("query_id")
+        super().__init__(
+            f"[{self.code}] {payload.get('message', 'unknown error')}"
+        )
+        self.payload = payload
+
+
+class ProtocolError(ReproError):
+    """The server broke the frame conversation."""
+
+
+class NetResult:
+    """One query's rows and server-side stats."""
+
+    def __init__(self, columns: list[str], rows: list[tuple], stats: dict):
+        self.columns = columns
+        self.rows = rows
+        self.stats = stats
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def total_ns(self) -> float:
+        return self.stats.get("total_ns", 0.0)
+
+    @property
+    def plan_cache_hit(self) -> bool:
+        return bool(self.stats.get("plan_cache_hit"))
+
+
+class ReproNetClient:
+    """A connection to a :class:`~repro.net.server.NetServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: str,
+        timeout_s: float = 60.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        fetch_size: int | None = None,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._decoder = FrameDecoder(max_frame)
+        self._frames: list[tuple[int, dict]] = []  # decoded, undelivered
+        self._inbox: list[tuple[int, dict]] = []   # out-of-band query frames
+        self._query_ids = itertools.count(1)
+        self.fetch_size = fetch_size
+        self.closed = False
+        self.send_frame(Opcode.HELLO, {
+            "token": token, "version": PROTOCOL_VERSION,
+        })
+        _, hello = self._recv_reply(Opcode.HELLO_OK)
+        self.tenant = hello.get("tenant")
+        self.policy = hello.get("policy")
+        self.server_info = hello
+
+    # -- framing ---------------------------------------------------------
+
+    def send_frame(self, opcode: int, payload: dict | None = None) -> None:
+        self._sock.sendall(encode_frame(opcode, payload))
+
+    def recv_frame(self) -> tuple[int, dict]:
+        """The next frame off the wire (undelivered ones first)."""
+        while not self._frames:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.pop(0)
+
+    _QUERY_OPCODES = (Opcode.RESULT, Opcode.ROWS, Opcode.CANCELLED)
+
+    def _recv_reply(self, expected: int) -> tuple[int, dict]:
+        """The next connection-sequential reply, parking query frames."""
+        while True:
+            opcode, payload = self.recv_frame()
+            if opcode == expected:
+                return opcode, payload
+            if opcode == Opcode.ERROR and "query_id" not in payload:
+                raise NetClientError(payload)
+            if opcode in self._QUERY_OPCODES or (
+                opcode == Opcode.ERROR and "query_id" in payload
+            ):
+                self._inbox.append((opcode, payload))
+                continue
+            raise ProtocolError(
+                f"expected opcode {expected}, got {opcode}: {payload}"
+            )
+
+    def _recv_for_query(
+        self, query_id: int, opcodes, match_error: bool = True,
+    ) -> tuple[int, dict]:
+        """The next frame addressed to ``query_id`` (inbox first).
+
+        ``match_error=False`` parks ERROR frames for the query instead
+        of returning them — CANCEL's ack is always CANCELLED, so an
+        interleaved EXECUTE failure must not satisfy the cancel wait.
+        """
+        def matches(opcode, payload):
+            if payload.get("query_id") != query_id:
+                return False
+            return opcode in opcodes or (
+                match_error and opcode == Opcode.ERROR
+            )
+
+        for i, (opcode, payload) in enumerate(self._inbox):
+            if matches(opcode, payload):
+                del self._inbox[i]
+                return opcode, payload
+        while True:
+            opcode, payload = self.recv_frame()
+            if matches(opcode, payload):
+                return opcode, payload
+            if opcode == Opcode.ERROR and "query_id" not in payload:
+                raise NetClientError(payload)
+            if opcode in self._QUERY_OPCODES or opcode == Opcode.ERROR:
+                self._inbox.append((opcode, payload))
+                continue
+            raise ProtocolError(
+                f"unexpected opcode {opcode} while waiting on "
+                f"query {query_id}: {payload}"
+            )
+
+    # -- the statement API -----------------------------------------------
+
+    def prepare(self, sql: str, mode: str | None = None) -> int:
+        """Server-side prepared statement; returns its stmt_id."""
+        payload = {"sql": sql}
+        if mode:
+            payload["mode"] = mode
+        self.send_frame(Opcode.PREPARE, payload)
+        _, prepared = self._recv_reply(Opcode.PREPARED)
+        return prepared["stmt_id"]
+
+    def execute(
+        self,
+        sql: str | None = None,
+        stmt_id: int | None = None,
+        params: tuple = (),
+        mode: str | None = None,
+        deadline_s: float | None = None,
+        fetch_size: int | None = None,
+        wait: bool = True,
+    ):
+        """Submit a query; returns a :class:`NetResult` (or, with
+        ``wait=False``, the query_id to :meth:`wait` on later).
+
+        Raises:
+            NetClientError: a structured ERROR frame — backpressure
+                (``retry_after_s`` set), admission rejection, deadline
+                expiry, cancellation, or a query error.
+        """
+        if (sql is None) == (stmt_id is None):
+            raise ValueError("pass exactly one of sql / stmt_id")
+        query_id = next(self._query_ids)
+        payload = {"query_id": query_id}
+        if sql is not None:
+            payload["sql"] = sql
+        else:
+            payload["stmt_id"] = stmt_id
+            payload["params"] = list(params)
+        if mode:
+            payload["mode"] = mode
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if fetch_size or self.fetch_size:
+            payload["fetch_size"] = fetch_size or self.fetch_size
+        self.send_frame(Opcode.EXECUTE, payload)
+        if not wait:
+            return query_id
+        return self.wait(query_id)
+
+    def wait(self, query_id: int) -> NetResult:
+        """Block until ``query_id`` resolves, fetching every page."""
+        opcode, payload = self._recv_for_query(query_id, (Opcode.RESULT,))
+        if opcode == Opcode.ERROR:
+            raise NetClientError(payload)
+        rows = list(payload["rows"])
+        more = payload.get("more", False)
+        while more:
+            self.send_frame(Opcode.FETCH, {"query_id": query_id})
+            opcode, page = self._recv_for_query(query_id, (Opcode.ROWS,))
+            if opcode == Opcode.ERROR:
+                raise NetClientError(page)
+            rows.extend(page["rows"])
+            more = page.get("more", False)
+        assert len(rows) == payload["num_rows"]
+        return NetResult(
+            columns=payload["columns"],
+            rows=decode_rows(rows),
+            stats=payload.get("stats", {}),
+        )
+
+    def cancel(self, query_id: int) -> bool:
+        """Best-effort server-side cancel; True if it will not run."""
+        self.send_frame(Opcode.CANCEL, {"query_id": query_id})
+        _, payload = self._recv_for_query(
+            query_id, (Opcode.CANCELLED,), match_error=False,
+        )
+        return bool(payload.get("cancelled"))
+
+    def stats(self) -> dict:
+        """The server's STATS snapshot (per-tenant accounting etc.)."""
+        self.send_frame(Opcode.STATS)
+        _, payload = self._recv_reply(Opcode.STATS_REPLY)
+        return payload
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Polite CLOSE/BYE then socket shutdown (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.send_frame(Opcode.CLOSE)
+            self._recv_reply(Opcode.BYE)
+        except (ConnectionError, OSError, ReproError):
+            pass
+        finally:
+            self._sock.close()
+
+    def kill(self) -> None:
+        """Abrupt disconnect — the fault-injection tests' hammer."""
+        self.closed = True
+        self._sock.close()
+
+    def __enter__(self) -> "ReproNetClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,274 @@
+"""``repro net`` — the network server and its client commands.
+
+Usage:
+
+    python -m repro.cli net serve --scale 0.1 --concurrency 4 \
+        --policy fair --port 7341 --demo-tenants
+    python -m repro.cli net run --port 7341 --token alpha-token \
+        --paper-mix --scale 0.1 --verify-solo
+    python -m repro.cli net run --port 7341 --token local -q "SELECT ..."
+    python -m repro.cli net stats --port 7341 --token alpha-token \
+        --out tenant-stats.json
+
+``serve`` owns the engine: it builds a TPC-H catalog, an
+:class:`~repro.serve.EngineSession` with a metrics registry, an
+:class:`~repro.serve.AsyncEngine` worker pool under the selected
+scheduling policy, and listens until SIGINT/SIGTERM — then drains,
+prints per-tenant accounting, and exits 0.  ``--tenants FILE`` loads a
+JSON tenant roster (name/token/priority/weight/quota/max_in_flight);
+``--demo-tenants`` uses the built-in alpha/beta pair; the default is a
+single unrestricted tenant with token ``local``.
+
+``run`` is a thin client: one connection, the statements you ask for,
+a per-query line each, and ``--verify-solo`` re-runs each distinct
+statement on a local fresh engine at ``--scale`` and checks the rows
+that travelled through the protocol are bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+
+from ..engine import EngineOptions
+from ..errors import ReproError
+from ..gpu import DeviceSpec
+from ..serve.concurrent import AsyncEngine
+from ..serve.plancache import normalize_sql
+from ..serve.scheduler import paper_mix_statements
+from ..serve.session import EngineSession
+from ..tpch import generate_tpch
+from .client import NetClientError, ReproNetClient
+from .protocol import decode_rows, encode_rows
+from .qos import TenantRegistry, demo_registry, single_tenant_registry
+from .server import NetServer
+
+
+def _add_connection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, required=True,
+                        help="server port")
+    parser.add_argument("--token", default="local",
+                        help="tenant auth token (default 'local')")
+
+
+def build_net_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli net",
+        description="Network-facing query server with multi-tenant QoS.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the socket server")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="TPC-H micro scale factor (default 1)")
+    serve.add_argument("--concurrency", type=int, default=2, metavar="N",
+                       help="engine worker threads (default 2)")
+    serve.add_argument("--policy", choices=AsyncEngine.POLICIES,
+                       default="priority",
+                       help="scheduling policy (default priority-FIFO)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="bounded submission queue depth (default 64)")
+    serve.add_argument("--mode", choices=("auto", "nested", "unnested"),
+                       default="auto", help="execution mode")
+    serve.add_argument("--device", choices=("v100", "gtx1080"),
+                       default="v100", help="simulated device preset")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: ephemeral, printed)")
+    tenants = serve.add_mutually_exclusive_group()
+    tenants.add_argument("--tenants", metavar="FILE",
+                         help="JSON tenant roster")
+    tenants.add_argument("--demo-tenants", action="store_true",
+                         help="built-in alpha/beta tenant pair")
+
+    run = sub.add_parser("run", help="drive a server as one tenant")
+    _add_connection_args(run)
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("-q", "--query", help="run one statement")
+    source.add_argument("--paper-mix", action="store_true",
+                        help="run the 10-query paper mix")
+    run.add_argument("--repeat", type=int, default=1,
+                     help="repeat the workload N times (default 1)")
+    run.add_argument("--deadline", type=float, default=None,
+                     help="per-query deadline in seconds")
+    run.add_argument("--fetch-size", type=int, default=None,
+                     help="rows per RESULT/ROWS page")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="scale for --verify-solo's local engine")
+    run.add_argument("--mode", choices=("auto", "nested", "unnested"),
+                     default="auto", help="mode for --verify-solo")
+    run.add_argument("--verify-solo", action="store_true",
+                     help="check rows are bit-identical to a local solo run")
+    run.add_argument("-v", "--verbose", action="store_true",
+                     help="print a line per query")
+
+    stats = sub.add_parser("stats", help="fetch the server's STATS frame")
+    _add_connection_args(stats)
+    stats.add_argument("--out", metavar="PATH",
+                       help="also write the stats JSON to a file")
+    return parser
+
+
+def _load_registry(args) -> TenantRegistry:
+    if args.tenants:
+        return TenantRegistry.from_json_file(args.tenants)
+    if args.demo_tenants:
+        return demo_registry()
+    return single_tenant_registry()
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from ..obs import MetricsRegistry
+
+    try:
+        registry = _load_registry(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    device = (
+        DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
+    )
+    session = EngineSession(
+        generate_tpch(args.scale), device=device, options=EngineOptions(),
+        mode=args.mode, metrics=MetricsRegistry(),
+    )
+    engine = AsyncEngine(
+        session,
+        workers=args.concurrency,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        tenant_budgets=registry.budgets(session.device_capacity_bytes),
+        tenant_weights=registry.weights(),
+    )
+    server = NetServer(engine, registry, host=args.host, port=args.port)
+
+    async def main() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stopping.set)
+        print(
+            f"listening on {server.host}:{server.port} "
+            f"(policy {engine.policy}, {engine.workers} workers, "
+            f"tenants: {', '.join(sorted(registry.specs))})",
+            flush=True,
+        )
+        await stopping.wait()
+        print("draining...", flush=True)
+        await server.drain(timeout=60.0)
+        await server.stop()
+
+    try:
+        asyncio.run(main())
+    finally:
+        engine.shutdown(drain=False, timeout=10.0)
+        tenants = engine.tenant_stats()
+        session.close()
+    print(json.dumps({"tenants": tenants}, indent=2))
+    return 0
+
+
+def _verify_solo(statements, results, args) -> list[str]:
+    """Protocol rows vs a local fresh-engine run, per distinct statement.
+
+    Both sides pass through the wire codec, so a mismatch is a real
+    row difference, not a serialisation artefact.
+    """
+    from ..core import NestGPU
+
+    device = DeviceSpec.v100()
+    mismatches: list[str] = []
+    seen: dict[str, list] = {}
+    for sql, result in zip(statements, results):
+        if result is None:
+            continue
+        key = normalize_sql(sql)
+        if key not in seen:
+            solo = NestGPU(
+                generate_tpch(args.scale), device=device,
+                options=EngineOptions(), mode=args.mode,
+            ).execute(sql)
+            seen[key] = decode_rows(encode_rows(solo.rows))
+        if repr(seen[key]) != repr(result.rows):
+            mismatches.append(f"{key[:60]}: rows differ from solo run")
+    return mismatches
+
+
+def _run(args) -> int:
+    statements = (
+        paper_mix_statements() if args.paper_mix else [args.query]
+    ) * max(1, args.repeat)
+    try:
+        client = ReproNetClient(
+            args.host, args.port, token=args.token,
+            fetch_size=args.fetch_size,
+        )
+    except OSError as exc:
+        print(f"error: cannot connect: {exc}", file=sys.stderr)
+        return 2
+    results = []
+    failures = 0
+    with client:
+        for seq, sql in enumerate(statements):
+            try:
+                result = client.execute(sql, deadline_s=args.deadline)
+            except NetClientError as exc:
+                results.append(None)
+                failures += 1
+                print(f"  [{seq:2d}] error {exc}", file=sys.stderr)
+                continue
+            results.append(result)
+            if args.verbose:
+                print(
+                    f"  [{seq:2d}] {result.num_rows:5d} rows "
+                    f"{result.stats.get('wall_run_ms', 0.0):8.2f} ms wall "
+                    f"{'hit ' if result.plan_cache_hit else 'miss'} "
+                    f"{normalize_sql(sql)[:50]}"
+                )
+        done = [r for r in results if r is not None]
+        total_rows = sum(r.num_rows for r in done)
+        print(
+            f"tenant {client.tenant}: {len(done)}/{len(statements)} queries, "
+            f"{total_rows} rows ({client.policy} policy)"
+        )
+    if args.verify_solo:
+        mismatches = _verify_solo(statements, results, args)
+        if mismatches:
+            print("solo bit-identity FAILED:", file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("solo bit-identity: OK")
+    return 1 if failures else 0
+
+
+def _stats(args) -> int:
+    try:
+        with ReproNetClient(args.host, args.port, token=args.token) as client:
+            stats = client.stats()
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(stats, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+def net_main(argv: list[str] | None = None) -> int:
+    args = build_net_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "run":
+        return _run(args)
+    return _stats(args)

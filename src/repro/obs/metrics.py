@@ -125,6 +125,32 @@ class MetricsRegistry:
         """Append one query's summary (sql, path, predicted/actual ms, ...)."""
         self.query_log.append(entry)
 
+    def dump_prefix(self, prefix: str) -> dict:
+        """Counters/gauges/histograms under one name prefix.
+
+        The serving stack namespaces per-tenant metrics as
+        ``qos.tenant.<name>.*``; the network server's STATS frame and
+        the QoS tests read them back through this filter.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                n: c.value for n, c in sorted(counters.items())
+                if n.startswith(prefix)
+            },
+            "gauges": {
+                n: g.value for n, g in sorted(gauges.items())
+                if n.startswith(prefix)
+            },
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(histograms.items())
+                if n.startswith(prefix)
+            },
+        }
+
     def to_dict(self) -> dict:
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},

@@ -15,8 +15,13 @@ from .concurrent import (
     AsyncEngine,
     BackpressureError,
     DeadlineExceeded,
+    FairSharePolicy,
+    PriorityFifoPolicy,
     QueryCancelled,
     QueryTicket,
+    SchedulingPolicy,
+    TenantAccount,
+    TenantBudget,
 )
 from .plancache import PlanCache, normalize_sql
 from .scheduler import (
@@ -39,9 +44,14 @@ __all__ = [
     "ConcurrencyViolation",
     "DeadlineExceeded",
     "EngineSession",
+    "FairSharePolicy",
     "OwnedLock",
+    "PriorityFifoPolicy",
     "QueryCancelled",
     "QueryTicket",
+    "SchedulingPolicy",
+    "TenantAccount",
+    "TenantBudget",
     "ThreadGuard",
     "PAPER_MIX",
     "PlanCache",

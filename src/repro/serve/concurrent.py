@@ -39,6 +39,21 @@ Lock hierarchy (acquire strictly downward, release before going up):
 Results carry both clocks: modelled placement (``start_ns``,
 ``duration_ns``, ``queue_wait_ns`` on the modelled per-stream
 timeline) and wall-clock (``wall_wait_s``, ``wall_run_s``).
+
+Multi-tenant QoS (the network server's substrate, see
+:mod:`repro.net`): every submission may carry a *tenant* name.  A
+:class:`TenantBudget` caps a tenant's live HBM reservations and its
+in-flight query count inside the :class:`AdmissionController` — a
+quota-blocked tenant never blocks other tenants' admissions.  The
+engine's dequeue order is a pluggable :class:`SchedulingPolicy`:
+:class:`PriorityFifoPolicy` is the historical ``(priority desc,
+arrival)`` rule, :class:`FairSharePolicy` is weighted fair queueing
+over tenants (stride scheduling on a virtual clock, so a backlogged
+tenant is served at least once every ``2 x (tenants - 1)`` picks
+regardless of the other tenants' priorities).  Per-tenant accounting
+(queries, rows, modelled device time, wall time, rejections,
+starvation age) lives in :class:`TenantAccount` and is mirrored into
+the session's metrics registry under ``qos.tenant.<name>.*``.
 """
 
 from __future__ import annotations
@@ -78,6 +93,153 @@ class DeadlineExceeded(QueryCancelled):
 
 
 # ---------------------------------------------------------------------------
+# multi-tenant QoS primitives
+# ---------------------------------------------------------------------------
+
+
+class TenantBudget:
+    """One tenant's admission limits and live usage.
+
+    ``quota_bytes`` caps the sum of the tenant's live HBM
+    reservations; ``max_in_flight`` caps its admitted-but-unreleased
+    query count.  ``None`` means unlimited.  ``peak_*`` record the
+    proven maxima (the property tests' witnesses).
+    """
+
+    __slots__ = (
+        "quota_bytes", "max_in_flight",
+        "in_use", "in_flight", "peak_in_use", "peak_in_flight",
+    )
+
+    def __init__(self, quota_bytes: int | None = None,
+                 max_in_flight: int | None = None):
+        if quota_bytes is not None and quota_bytes <= 0:
+            raise ValueError("quota_bytes must be positive")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.quota_bytes = quota_bytes
+        self.max_in_flight = max_in_flight
+        self.in_use = 0
+        self.in_flight = 0
+        self.peak_in_use = 0
+        self.peak_in_flight = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "quota_bytes": self.quota_bytes,
+            "max_in_flight": self.max_in_flight,
+            "in_use_bytes": self.in_use,
+            "in_flight": self.in_flight,
+            "peak_in_use_bytes": self.peak_in_use,
+            "peak_in_flight": self.peak_in_flight,
+        }
+
+
+class TenantAccount:
+    """Per-tenant served-workload accounting (engine-side ledger)."""
+
+    __slots__ = (
+        "name", "submitted", "queries", "rows", "device_ns", "wall_s",
+        "rejections", "cancellations", "errors", "max_starvation_s",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.submitted = 0
+        self.queries = 0          # completed
+        self.rows = 0
+        self.device_ns = 0.0      # modelled device time
+        self.wall_s = 0.0         # real device wall time
+        self.rejections = 0
+        self.cancellations = 0
+        self.errors = 0
+        self.max_starvation_s = 0.0  # longest submit->dequeue wait seen
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "queries": self.queries,
+            "rows": self.rows,
+            "device_ms": self.device_ns / 1e6,
+            "wall_s": self.wall_s,
+            "rejections": self.rejections,
+            "cancellations": self.cancellations,
+            "errors": self.errors,
+            "max_starvation_s": self.max_starvation_s,
+        }
+
+
+class SchedulingPolicy:
+    """Dequeue-order strategy over the engine's pending tickets.
+
+    ``select`` returns (without removing) the ticket to run next from
+    a non-empty pending list.  The engine calls it under its queue
+    lock, so implementations may keep unsynchronized internal state.
+    """
+
+    name = "abstract"
+
+    def select(self, pending):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class PriorityFifoPolicy(SchedulingPolicy):
+    """The historical order: priority descending, then arrival."""
+
+    name = "priority"
+
+    def select(self, pending):
+        return min(pending, key=lambda t: (-t.priority, t.seq))
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Weighted fair queueing across tenants (stride scheduling).
+
+    Each tenant owns a virtual time; a pick charges the chosen tenant
+    ``1 / weight`` and the tenant with the smallest virtual time goes
+    next (ties to the oldest head ticket).  A tenant first seen — or
+    returning from idle — joins at the current virtual clock, so
+    absence neither banks credit nor costs position.  Within a tenant
+    the order stays ``(priority desc, arrival)``, which makes the
+    single-tenant case degenerate to :class:`PriorityFifoPolicy`
+    exactly.
+    """
+
+    name = "fair"
+
+    def __init__(self, weights: dict[str, float] | None = None):
+        self.weights = dict(weights or {})
+        self._vtime: dict[str | None, float] = {}
+        self._vclock = 0.0
+
+    def weight(self, tenant: str | None) -> float:
+        weight = self.weights.get(tenant, 1.0)
+        return weight if weight > 0 else 1.0
+
+    def select(self, pending):
+        heads: dict[str | None, QueryTicket] = {}
+        for ticket in pending:
+            head = heads.get(ticket.tenant)
+            if head is None or (-ticket.priority, ticket.seq) < (
+                -head.priority, head.seq
+            ):
+                heads[ticket.tenant] = ticket
+        # floor every backlogged tenant at the virtual clock: idle
+        # periods do not accumulate catch-up credit
+        for tenant in heads:
+            stored = self._vtime.get(tenant)
+            if stored is None or stored < self._vclock:
+                self._vtime[tenant] = self._vclock
+        chosen = min(
+            heads,
+            key=lambda tenant: (self._vtime[tenant], heads[tenant].seq),
+        )
+        self._vclock = self._vtime[chosen]
+        self._vtime[chosen] += 1.0 / self.weight(chosen)
+        return heads[chosen]
+
+
+# ---------------------------------------------------------------------------
 # admission control
 # ---------------------------------------------------------------------------
 
@@ -85,12 +247,14 @@ class DeadlineExceeded(QueryCancelled):
 class AdmissionTicket:
     """One query's place in the admission queue."""
 
-    __slots__ = ("seq", "nbytes", "priority", "state")
+    __slots__ = ("seq", "nbytes", "priority", "tenant", "state")
 
-    def __init__(self, seq: int, nbytes: int, priority: int):
+    def __init__(self, seq: int, nbytes: int, priority: int,
+                 tenant: str | None = None):
         self.seq = seq
         self.nbytes = nbytes
         self.priority = priority
+        self.tenant = tenant
         self.state = "waiting"  # 'admitted' | 'cancelled' | 'released'
 
 
@@ -100,16 +264,32 @@ class AdmissionController:
     A reservation is a query's preload working set; the sum of live
     reservations never exceeds ``capacity_bytes`` (``high_water``
     records the proven maximum).  Waiters are served strictly in
-    ``(priority desc, arrival)`` order — head-of-line within a
-    priority, so a large query is never starved by smaller late
-    arrivals.  Cancellation (explicit or by timeout) always removes
-    the waiter or releases the reservation; nothing leaks.
+    ``(priority desc, arrival)`` order (``order='arrival'`` drops the
+    priority key — the fair-share engine's choice, since its dequeue
+    order already encodes the policy) — head-of-line, so a large query
+    is never starved by smaller late arrivals.  Cancellation (explicit
+    or by timeout) always removes the waiter or releases the
+    reservation; nothing leaks.
+
+    ``budgets`` maps tenant names to :class:`TenantBudget` limits.  A
+    waiter whose tenant is at its HBM quota or in-flight cap is simply
+    *ineligible* — it never becomes the head, so it waits without
+    blocking other tenants' admissions.
     """
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        budgets: dict[str, TenantBudget] | None = None,
+        order: str = "priority",
+    ):
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
+        if order not in ("priority", "arrival"):
+            raise ValueError(f"unknown admission order {order!r}")
         self.capacity = capacity_bytes
+        self.budgets = dict(budgets or {})
+        self.order = order
         self.in_use = 0
         self.high_water = 0
         self.admitted_count = 0
@@ -118,31 +298,71 @@ class AdmissionController:
         self._seq = 0
         self._waiters: list[AdmissionTicket] = []
 
-    def enqueue(self, nbytes: int, priority: int = 0) -> AdmissionTicket:
+    def enqueue(self, nbytes: int, priority: int = 0,
+                tenant: str | None = None) -> AdmissionTicket:
         """Join the admission queue (position is assigned here).
 
         Raises:
-            AdmissionError: the request can never fit on the device.
+            AdmissionError: the request can never fit on the device,
+                or can never fit inside its tenant's HBM quota.
         """
         if nbytes > self.capacity:
             raise AdmissionError(
                 f"working set {nbytes} B exceeds device capacity "
                 f"{self.capacity} B"
             )
+        budget = self.budgets.get(tenant) if tenant is not None else None
+        if (
+            budget is not None
+            and budget.quota_bytes is not None
+            and nbytes > budget.quota_bytes
+        ):
+            raise AdmissionError(
+                f"working set {nbytes} B exceeds tenant {tenant!r} "
+                f"HBM quota {budget.quota_bytes} B"
+            )
         with self._cond:
-            ticket = AdmissionTicket(self._seq, nbytes, priority)
+            ticket = AdmissionTicket(self._seq, nbytes, priority, tenant)
             self._seq += 1
             self._waiters.append(ticket)
             # a new arrival can be the head (higher priority): wake waiters
             self._cond.notify_all()
             return ticket
 
+    def _budget(self, ticket: AdmissionTicket) -> TenantBudget | None:
+        if ticket.tenant is None:
+            return None
+        return self.budgets.get(ticket.tenant)
+
+    def _eligible(self, ticket: AdmissionTicket) -> bool:
+        """Whether the ticket's tenant limits permit admission now."""
+        budget = self._budget(ticket)
+        if budget is None:
+            return True
+        if (
+            budget.quota_bytes is not None
+            and budget.in_use + ticket.nbytes > budget.quota_bytes
+        ):
+            return False
+        if (
+            budget.max_in_flight is not None
+            and budget.in_flight >= budget.max_in_flight
+        ):
+            return False
+        return True
+
+    def _key(self, waiter: AdmissionTicket):
+        if self.order == "arrival":
+            return (waiter.seq,)
+        return (-waiter.priority, waiter.seq)
+
     def _head(self) -> AdmissionTicket | None:
+        """The best *eligible* waiter — quota-blocked tenants step aside."""
         head = None
         for waiter in self._waiters:
-            if head is None or (-waiter.priority, waiter.seq) < (
-                -head.priority, head.seq
-            ):
+            if not self._eligible(waiter):
+                continue
+            if head is None or self._key(waiter) < self._key(head):
                 head = waiter
         return head
 
@@ -180,6 +400,18 @@ class AdmissionController:
                     if self.in_use > self.high_water:
                         self.high_water = self.in_use
                     self.admitted_count += 1
+                    budget = self._budget(ticket)
+                    if budget is not None:
+                        budget.in_use += ticket.nbytes
+                        budget.in_flight += 1
+                        if budget.in_use > budget.peak_in_use:
+                            budget.peak_in_use = budget.in_use
+                        if budget.in_flight > budget.peak_in_flight:
+                            budget.peak_in_flight = budget.in_flight
+                        assert (
+                            budget.quota_bytes is None
+                            or budget.in_use <= budget.quota_bytes
+                        )
                     assert self.in_use <= self.capacity
                     # the next waiter may fit beside this reservation
                     self._cond.notify_all()
@@ -196,16 +428,25 @@ class AdmissionController:
 
     def admit(
         self, nbytes: int, priority: int = 0, timeout: float | None = None,
+        tenant: str | None = None,
     ) -> AdmissionTicket:
         """``enqueue`` + ``wait`` in one call."""
-        return self.wait(self.enqueue(nbytes, priority), timeout)
+        return self.wait(self.enqueue(nbytes, priority, tenant), timeout)
+
+    def _return_reservation(self, ticket: AdmissionTicket) -> None:
+        """Give back an admitted ticket's bytes (caller holds the cond)."""
+        self.in_use -= ticket.nbytes
+        budget = self._budget(ticket)
+        if budget is not None:
+            budget.in_use -= ticket.nbytes
+            budget.in_flight -= 1
 
     def release(self, ticket: AdmissionTicket) -> None:
         """Return an admitted reservation to the pool (idempotent)."""
         with self._cond:
             if ticket.state == "admitted":
                 ticket.state = "released"
-                self.in_use -= ticket.nbytes
+                self._return_reservation(ticket)
                 self._cond.notify_all()
 
     def cancel(self, ticket: AdmissionTicket) -> None:
@@ -216,8 +457,16 @@ class AdmissionController:
                 self._cond.notify_all()
             elif ticket.state == "admitted":
                 ticket.state = "cancelled"
-                self.in_use -= ticket.nbytes
+                self._return_reservation(ticket)
                 self._cond.notify_all()
+
+    def tenant_usage(self) -> dict[str, dict]:
+        """Live per-tenant budget usage (a consistent snapshot)."""
+        with self._cond:
+            return {
+                name: budget.to_dict()
+                for name, budget in sorted(self.budgets.items())
+            }
 
     def _drop(self, ticket: AdmissionTicket) -> None:
         """Remove a waiter from the queue (caller holds the condition)."""
@@ -254,12 +503,14 @@ class QueryTicket:
     """
 
     def __init__(self, seq: int, sql: str, mode: str | None,
-                 priority: int, deadline: float | None):
+                 priority: int, deadline: float | None,
+                 tenant: str | None = None):
         self.seq = seq
         self.sql = sql
         self.mode = mode
         self.priority = priority
         self.deadline = deadline  # absolute time.monotonic() or None
+        self.tenant = tenant
         self.status = "queued"
         self.detail = ""
         self.result: QueryResult | None = None
@@ -334,7 +585,15 @@ class AsyncEngine:
     :class:`AdmissionController`, and executes under the session lock.
     ``guard=`` installs a :class:`~repro.serve.threadguard.ThreadGuard`
     over the session's device state for race detection in tests.
+
+    ``policy`` selects the dequeue order: ``'priority'`` (the
+    historical priority-FIFO) or ``'fair'`` (weighted fair queueing
+    over tenants; ``tenant_weights`` maps tenant name to share).
+    ``tenant_budgets`` maps tenant names to :class:`TenantBudget`
+    admission limits enforced by the controller.
     """
+
+    POLICIES = ("priority", "fair")
 
     def __init__(
         self,
@@ -343,15 +602,34 @@ class AsyncEngine:
         queue_capacity: int = 64,
         guard=None,
         autostart: bool = True,
+        policy: str = "priority",
+        tenant_budgets: dict[str, TenantBudget] | None = None,
+        tenant_weights: dict[str, float] | None = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
         if queue_capacity < 1:
             raise ValueError("queue capacity must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {self.POLICIES}"
+            )
         self.session = session
         self.workers = workers
         self.queue_capacity = queue_capacity
-        self._admission = AdmissionController(session.device_capacity_bytes)
+        self.policy = policy
+        self._policy = (
+            FairSharePolicy(tenant_weights) if policy == "fair"
+            else PriorityFifoPolicy()
+        )
+        # under fair share the dequeue order *is* the policy; the
+        # admission queue must not re-sort it by priority
+        self._admission = AdmissionController(
+            session.device_capacity_bytes,
+            budgets=tenant_budgets,
+            order="arrival" if policy == "fair" else "priority",
+        )
+        self._tenant_accounts: dict[str | None, TenantAccount] = {}
         self._work = threading.Condition()
         self._pending: list[QueryTicket] = []
         self._tickets: list[QueryTicket] = []
@@ -444,6 +722,7 @@ class AsyncEngine:
         mode: str | None = None,
         priority: int = 0,
         deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> QueryTicket:
         """Enqueue a statement; returns its ticket.
 
@@ -462,12 +741,15 @@ class AsyncEngine:
                 raise BackpressureError(
                     len(self._pending), self._retry_after_locked()
                 )
-            ticket = QueryTicket(self._seq, sql, mode, priority, deadline)
+            ticket = QueryTicket(
+                self._seq, sql, mode, priority, deadline, tenant,
+            )
             ticket._engine = self
             self._seq += 1
             self._pending.append(ticket)
             self._tickets.append(ticket)
             self._outstanding += 1
+            self._account_locked(tenant).submitted += 1
             self._work.notify()
             return ticket
 
@@ -498,16 +780,49 @@ class AsyncEngine:
         with self._work:
             while True:
                 if self._pending:
-                    best = min(
-                        self._pending,
-                        key=lambda t: (-t.priority, t.seq),
-                    )
+                    best = self._policy.select(self._pending)
                     self._pending.remove(best)
                     best.status = "waiting"
+                    self._note_picked_locked(best)
                     return best
                 if self._stop:
                     return None
                 self._work.wait()
+
+    def _account_locked(self, tenant: str | None) -> TenantAccount:
+        account = self._tenant_accounts.get(tenant)
+        if account is None:
+            account = TenantAccount(tenant or "default")
+            self._tenant_accounts[tenant] = account
+        return account
+
+    def _note_picked_locked(self, ticket: QueryTicket) -> None:
+        """Record dequeue waits and starvation ages (holds ``_work``).
+
+        The picked ticket's submit-to-dequeue wait updates its
+        tenant's ``max_starvation_s``; tenants still waiting get their
+        oldest pending age published as the live
+        ``qos.tenant.<name>.starvation_age_s`` gauge.
+        """
+        now = time.perf_counter()
+        wait_s = now - ticket.wall_submit_s
+        account = self._account_locked(ticket.tenant)
+        if wait_s > account.max_starvation_s:
+            account.max_starvation_s = wait_s
+        metrics = self.session.metrics
+        if metrics is None:
+            return
+        oldest: dict[str | None, float] = {}
+        for pending in self._pending:
+            submitted = oldest.get(pending.tenant)
+            if submitted is None or pending.wall_submit_s < submitted:
+                oldest[pending.tenant] = pending.wall_submit_s
+        if ticket.tenant not in oldest:
+            oldest[ticket.tenant] = now  # tenant's backlog just drained
+        for tenant, submitted in oldest.items():
+            metrics.gauge(
+                f"qos.tenant.{tenant or 'default'}.starvation_age_s"
+            ).set(now - submitted)
 
     def _run_ticket(self, ticket: QueryTicket, worker_id: int) -> None:
         session = self.session
@@ -525,7 +840,7 @@ class AsyncEngine:
             prepared, hit = session.lookup_or_prepare(ticket.sql, ticket.mode)
             ticket.working_set_bytes = session.working_set_bytes(prepared)
             admission = self._admission.enqueue(
-                ticket.working_set_bytes, ticket.priority
+                ticket.working_set_bytes, ticket.priority, ticket.tenant,
             )
         except AdmissionError as exc:
             self._finish(ticket, "rejected", detail=str(exc))
@@ -624,6 +939,18 @@ class AsyncEngine:
                     run_s if self._service_ema_s is None
                     else 0.8 * self._service_ema_s + 0.2 * run_s
                 )
+            account = self._account_locked(ticket.tenant)
+            if status == "done":
+                account.queries += 1
+                account.rows += ticket.result.num_rows
+                account.device_ns += ticket.result.stats.total_ns
+                account.wall_s += ticket.wall_run_s
+            elif status == "rejected":
+                account.rejections += 1
+            elif status == "cancelled":
+                account.cancellations += 1
+            elif status == "error":
+                account.errors += 1
             self._outstanding -= 1
             ticket._event.set()
             self._work.notify_all()
@@ -640,6 +967,21 @@ class AsyncEngine:
                 )
             else:
                 metrics.counter(f"serve.queries.{status}").inc()
+            if ticket.tenant is not None:
+                prefix = f"qos.tenant.{ticket.tenant}"
+                if status == "done":
+                    metrics.counter(f"{prefix}.queries").inc()
+                    metrics.counter(f"{prefix}.rows").inc(
+                        ticket.result.num_rows
+                    )
+                    metrics.counter(f"{prefix}.device_ns").inc(
+                        ticket.result.stats.total_ns
+                    )
+                    metrics.histogram(f"{prefix}.wall_run_ms").observe(
+                        ticket.wall_run_s * 1e3
+                    )
+                else:
+                    metrics.counter(f"{prefix}.{status}").inc()
 
     # -- reporting -------------------------------------------------------
 
@@ -678,6 +1020,24 @@ class AsyncEngine:
             metrics.gauge("serve.speedup").set(report.speedup)
             metrics.gauge("serve.workers").set(self.workers)
         return report
+
+    def tenant_stats(self) -> dict[str, dict]:
+        """Per-tenant accounting merged with live admission usage."""
+        with self._work:
+            accounts = {
+                account.name: account.to_dict()
+                for account in self._tenant_accounts.values()
+            }
+        usage = self._admission.tenant_usage()
+        for name, budget in usage.items():
+            accounts.setdefault(name, TenantAccount(name).to_dict())
+            accounts[name]["budget"] = budget
+        return dict(sorted(accounts.items()))
+
+    @property
+    def queue_depth(self) -> int:
+        with self._work:
+            return len(self._pending)
 
     @property
     def admission(self) -> AdmissionController:

@@ -1,0 +1,223 @@
+"""Wire-protocol conformance: framing, codec, and the opcode table.
+
+The CONFORMANCE table is the protocol's registration ledger: every
+:class:`~repro.net.protocol.Opcode` must have a golden example payload
+here, and the table/enum sets are asserted equal — adding an opcode
+without registering a conformance row fails the suite by design.
+
+The rest covers the framing layer's failure modes (short reads,
+zero-length and oversized headers, bad JSON) and the value codec's
+bit-identity guarantees (dates, NaN, shortest-round-trip floats,
+unicode) that the e2e suite's solo-vs-wire comparisons rest on.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+import pytest
+
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    FrameDecoder,
+    FrameError,
+    Opcode,
+    decode_body,
+    decode_rows,
+    decode_value,
+    encode_frame,
+    encode_rows,
+    encode_value,
+    error_payload,
+)
+
+# One golden payload per opcode.  Every Opcode member MUST appear here
+# exactly once; test_every_opcode_registered enforces it.
+CONFORMANCE = [
+    (Opcode.HELLO, {"token": "alpha-token", "version": 1}),
+    (Opcode.HELLO_OK, {"tenant": "alpha", "priority": 10, "weight": 3.0,
+                       "policy": "fair", "fetch_size": 1024,
+                       "max_frame": DEFAULT_MAX_FRAME, "version": 1}),
+    (Opcode.PREPARE, {"sql": "SELECT * FROM orders WHERE o_custkey = $1"}),
+    (Opcode.PREPARED, {"stmt_id": 1, "num_params": 1}),
+    (Opcode.EXECUTE, {"query_id": 7, "sql": "SELECT 1 FROM region",
+                      "deadline_s": 2.5, "fetch_size": 100}),
+    (Opcode.RESULT, {"query_id": 7, "columns": ["o_orderkey"],
+                     "rows": [[1], [2]], "num_rows": 2, "more": False,
+                     "stats": {"total_ns": 1234.0, "path": "nested",
+                               "plan_cache_hit": True}}),
+    (Opcode.FETCH, {"query_id": 7}),
+    (Opcode.ROWS, {"query_id": 7, "rows": [[3], [4]], "more": True}),
+    (Opcode.CANCEL, {"query_id": 7}),
+    (Opcode.CANCELLED, {"query_id": 7, "cancelled": True}),
+    (Opcode.CLOSE, {}),
+    (Opcode.BYE, {}),
+    (Opcode.STATS, {}),
+    (Opcode.STATS_REPLY, {"server": {"connections": 1},
+                          "tenants": {"alpha": {"queries": 3}}}),
+    (Opcode.ERROR, error_payload("backpressure", "queue full",
+                                 query_id=7, retry_after_s=0.05)),
+]
+
+
+def test_every_opcode_registered():
+    registered = [opcode for opcode, _ in CONFORMANCE]
+    assert len(registered) == len(set(registered)), "duplicate rows"
+    assert set(registered) == set(Opcode), (
+        "every Opcode needs exactly one CONFORMANCE row; unregistered: "
+        f"{set(Opcode) - set(registered)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "opcode,payload", CONFORMANCE, ids=[o.name for o, _ in CONFORMANCE],
+)
+def test_frame_round_trip(opcode, payload):
+    frame = encode_frame(opcode, payload)
+    length = int.from_bytes(frame[:HEADER_SIZE], "big")
+    assert length == len(frame) - HEADER_SIZE
+    assert frame[HEADER_SIZE] == int(opcode)
+    got_opcode, got_payload = decode_body(frame[HEADER_SIZE:])
+    assert got_opcode == opcode
+    assert got_payload == payload
+
+
+@pytest.mark.parametrize(
+    "opcode,payload", CONFORMANCE, ids=[o.name for o, _ in CONFORMANCE],
+)
+def test_decoder_survives_byte_by_byte_feeding(opcode, payload):
+    """Any chunking assembles the same frames — TCP gives no more."""
+    frame = encode_frame(opcode, payload)
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(frame)):
+        frames.extend(decoder.feed(frame[i:i + 1]))
+        if i < len(frame) - 1:
+            assert not frames, "frame delivered before its last byte"
+    assert frames == [(opcode, payload)]
+    assert decoder.buffered == 0
+
+
+def test_decoder_multiple_frames_in_one_chunk():
+    blob = b"".join(encode_frame(op, pl) for op, pl in CONFORMANCE)
+    frames = FrameDecoder().feed(blob)
+    assert frames == [(op, pl) for op, pl in CONFORMANCE]
+
+
+def test_decoder_holds_partial_trailing_frame():
+    a = encode_frame(Opcode.FETCH, {"query_id": 1})
+    b = encode_frame(Opcode.FETCH, {"query_id": 2})
+    decoder = FrameDecoder()
+    frames = decoder.feed(a + b[:5])
+    assert frames == [(Opcode.FETCH, {"query_id": 1})]
+    assert decoder.buffered == 5
+    assert decoder.feed(b[5:]) == [(Opcode.FETCH, {"query_id": 2})]
+
+
+def test_zero_length_frame_rejected():
+    with pytest.raises(FrameError, match="zero-length"):
+        FrameDecoder().feed((0).to_bytes(HEADER_SIZE, "big"))
+
+
+def test_oversized_frame_rejected_from_header_alone():
+    """The limit trips on the 4 header bytes, before any body arrives."""
+    decoder = FrameDecoder(max_frame=64)
+    with pytest.raises(FrameError, match="exceeds"):
+        decoder.feed((65).to_bytes(HEADER_SIZE, "big"))
+
+
+def test_oversized_frame_encode_side():
+    frame = encode_frame(Opcode.EXECUTE, {"sql": "x" * 100})
+    with pytest.raises(FrameError, match="exceeds"):
+        FrameDecoder(max_frame=32).feed(frame)
+
+
+def test_malformed_json_payload():
+    body = bytes([int(Opcode.EXECUTE)]) + b"{not json"
+    frame = len(body).to_bytes(HEADER_SIZE, "big") + body
+    with pytest.raises(FrameError, match="malformed"):
+        FrameDecoder().feed(frame)
+
+
+def test_non_object_payload_rejected():
+    body = bytes([int(Opcode.EXECUTE)]) + b"[1,2,3]"
+    with pytest.raises(FrameError, match="JSON object"):
+        decode_body(body)
+
+
+def test_invalid_utf8_payload_rejected():
+    body = bytes([int(Opcode.EXECUTE)]) + b"\xff\xfe{}"
+    with pytest.raises(FrameError, match="malformed"):
+        decode_body(body)
+
+
+def test_opcode_must_fit_one_byte():
+    with pytest.raises(FrameError):
+        encode_frame(256, {})
+    with pytest.raises(FrameError):
+        encode_frame(-1, {})
+
+
+def test_payloadless_frame_decodes_to_empty_dict():
+    frame = encode_frame(Opcode.CLOSE)
+    assert FrameDecoder().feed(frame) == [(Opcode.CLOSE, {})]
+
+
+# -- the value codec ------------------------------------------------------
+
+CODEC_VALUES = [
+    0,
+    -(2 ** 53),
+    123456789,
+    0.1,
+    -1e-308,
+    math.pi,
+    float("inf"),
+    float("-inf"),
+    "",
+    "O'Brien é工",
+    datetime.date(1995, 3, 15),
+    datetime.date(1, 1, 1),
+    None,
+]
+
+
+@pytest.mark.parametrize("value", CODEC_VALUES, ids=repr)
+def test_value_round_trip_bit_identical(value):
+    restored = decode_value(encode_value(value))
+    assert type(restored) is type(value)
+    assert repr(restored) == repr(value)
+
+
+def test_nan_round_trip():
+    restored = decode_value(encode_value(float("nan")))
+    assert isinstance(restored, float) and math.isnan(restored)
+
+
+def test_rows_round_trip_mixed_tuple():
+    rows = [
+        (1, 0.1 + 0.2, datetime.date(1998, 12, 1), "BUILDING"),
+        (2, float("-inf"), datetime.date(1992, 1, 3), ""),
+    ]
+    restored = decode_rows(encode_rows(rows))
+    assert restored == rows
+    assert all(isinstance(r, tuple) for r in restored)
+    # bit-identity, not just equality: repr is exact for floats/dates
+    assert repr(restored) == repr(rows)
+
+
+def test_date_encoding_is_tagged_not_stringly():
+    encoded = encode_value(datetime.date(1995, 3, 15))
+    assert encoded == {"__date__": "1995-03-15"}
+    assert decode_value("1995-03-15") == "1995-03-15"  # plain str stays str
+
+
+def test_error_payload_shape():
+    payload = error_payload("rejected", "too big", query_id=3)
+    assert payload == {"code": "rejected", "message": "too big",
+                       "query_id": 3}
+    payload = error_payload("backpressure", "full", retry_after_s=0.1)
+    assert payload["retry_after_s"] == 0.1
+    assert "query_id" not in payload

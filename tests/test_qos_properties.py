@@ -1,0 +1,260 @@
+"""Property tests for the multi-tenant QoS layer.
+
+Hypothesis drives the two scheduling policies and the tenant-budgeted
+admission controller through randomized workloads and checks the
+guarantees the network server advertises:
+
+* **no starvation** under fair-share: with every tenant backlogged and
+  equal weights, any other tenant is picked at most twice between one
+  tenant's consecutive picks (stride scheduling's bound), so the gap
+  is at most ``2 * (N - 1)``;
+* **weighted shares converge**: over a long backlogged run each
+  tenant's pick count is proportional to its weight (within the
+  one-pick-per-tenant discretisation slop);
+* **per-tenant quotas hold**: no interleaving of enqueue / admit /
+  release drives a tenant past its HBM quota or max in-flight — the
+  budget's own peak ledger is the witness;
+* **degeneracy**: with a single tenant, fair-share reproduces
+  priority-FIFO's selection order exactly, pick for pick.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.serve.concurrent import (  # noqa: E402
+    AdmissionController,
+    AdmissionError,
+    DeadlineExceeded,
+    FairSharePolicy,
+    PriorityFifoPolicy,
+    TenantBudget,
+)
+
+COMMON = settings(deadline=None, max_examples=50)
+
+
+class FakeTicket:
+    """The three attributes a SchedulingPolicy reads."""
+
+    __slots__ = ("seq", "priority", "tenant")
+
+    def __init__(self, seq, priority=0, tenant=None):
+        self.seq = seq
+        self.priority = priority
+        self.tenant = tenant
+
+    def __repr__(self):
+        return f"T(seq={self.seq}, pri={self.priority}, {self.tenant})"
+
+
+def drain(policy, pending):
+    """Select-and-remove until empty; the pick order."""
+    pending = list(pending)
+    order = []
+    while pending:
+        ticket = policy.select(pending)
+        pending.remove(ticket)
+        order.append(ticket)
+    return order
+
+
+# -- starvation bounds ----------------------------------------------------
+
+tenant_names = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]),
+    min_size=2, max_size=5, unique=True,
+)
+
+
+@COMMON
+@given(tenants=tenant_names, rounds=st.integers(10, 60),
+       priorities=st.data())
+def test_fair_share_no_tenant_starves(tenants, rounds, priorities):
+    """Equal weights, all backlogged: gap between a tenant's
+    consecutive picks never exceeds 2 * (N - 1)."""
+    policy = FairSharePolicy()
+    seq = 0
+    pending = []
+    for tenant in tenants:
+        pri = priorities.draw(st.integers(0, 10), label=f"pri-{tenant}")
+        pending.append(FakeTicket(seq, pri, tenant))
+        seq += 1
+    picks = []
+    for _ in range(rounds):
+        ticket = policy.select(pending)
+        pending.remove(ticket)
+        picks.append(ticket.tenant)
+        # refill so every tenant stays backlogged
+        pri = priorities.draw(st.integers(0, 10), label="refill-pri")
+        pending.append(FakeTicket(seq, pri, ticket.tenant))
+        seq += 1
+    bound = 2 * (len(tenants) - 1)
+    last_seen = {}
+    for i, tenant in enumerate(picks):
+        if tenant in last_seen:
+            gap = i - last_seen[tenant] - 1
+            assert gap <= bound, (
+                f"{tenant} starved for {gap} picks (bound {bound}): {picks}"
+            )
+        last_seen[tenant] = i
+
+
+@COMMON
+@given(weights=st.lists(st.integers(1, 5), min_size=2, max_size=4),
+       rounds=st.integers(50, 200))
+def test_fair_share_picks_proportional_to_weight(weights, rounds):
+    tenants = [f"t{i}" for i in range(len(weights))]
+    policy = FairSharePolicy(dict(zip(tenants, map(float, weights))))
+    seq = 0
+    pending = [FakeTicket(i, 0, t) for i, t in enumerate(tenants)]
+    seq = len(tenants)
+    counts = dict.fromkeys(tenants, 0)
+    for _ in range(rounds):
+        ticket = policy.select(pending)
+        pending.remove(ticket)
+        counts[ticket.tenant] += 1
+        pending.append(FakeTicket(seq, 0, ticket.tenant))
+        seq += 1
+    total_weight = sum(weights)
+    for tenant, weight in zip(tenants, weights):
+        expected = rounds * weight / total_weight
+        # stride scheduling keeps every tenant within one pick per
+        # competitor of its proportional share
+        assert abs(counts[tenant] - expected) <= len(tenants) + 1, (
+            f"{tenant}: {counts[tenant]} picks, expected ~{expected:.1f}"
+        )
+
+
+@COMMON
+@given(tickets=st.lists(
+    st.tuples(st.integers(0, 10), st.sampled_from(["a", "b", "c"])),
+    min_size=1, max_size=30,
+))
+def test_fair_share_respects_within_tenant_order(tickets):
+    """Whatever the cross-tenant interleave, each tenant's own tickets
+    come out in (priority desc, arrival) order."""
+    policy = FairSharePolicy()
+    pending = [
+        FakeTicket(seq, pri, tenant)
+        for seq, (pri, tenant) in enumerate(tickets)
+    ]
+    order = drain(policy, pending)
+    for tenant in {t.tenant for t in order}:
+        own = [t for t in order if t.tenant == tenant]
+        assert own == sorted(own, key=lambda t: (-t.priority, t.seq))
+
+
+# -- degeneracy -----------------------------------------------------------
+
+@COMMON
+@given(tickets=st.lists(st.integers(0, 10), min_size=1, max_size=30),
+       tenant=st.sampled_from([None, "solo"]))
+def test_single_tenant_fair_share_is_priority_fifo(tickets, tenant):
+    make = lambda: [
+        FakeTicket(seq, pri, tenant) for seq, pri in enumerate(tickets)
+    ]
+    fair = drain(FairSharePolicy({"solo": 2.5}), make())
+    fifo = drain(PriorityFifoPolicy(), make())
+    assert [t.seq for t in fair] == [t.seq for t in fifo]
+
+
+# -- tenant budgets under admission ---------------------------------------
+
+budget_strategy = st.fixed_dictionaries({
+    "quota": st.one_of(st.none(), st.integers(50, 400)),
+    "max_in_flight": st.one_of(st.none(), st.integers(1, 4)),
+})
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b"]),       # tenant
+        st.integers(10, 200),              # nbytes
+        st.booleans(),                     # release something first?
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@COMMON
+@given(budgets=st.fixed_dictionaries({
+    "a": budget_strategy, "b": budget_strategy,
+}), ops=ops_strategy)
+def test_tenant_quota_and_in_flight_never_exceeded(budgets, ops):
+    capacity = 500
+    controller = AdmissionController(
+        capacity,
+        budgets={
+            name: TenantBudget(
+                quota_bytes=spec["quota"],
+                max_in_flight=spec["max_in_flight"],
+            )
+            for name, spec in budgets.items()
+        },
+    )
+    admitted = []
+    for tenant, nbytes, release_first in ops:
+        if release_first and admitted:
+            controller.release(admitted.pop(0))
+        try:
+            ticket = controller.enqueue(nbytes, tenant=tenant)
+        except AdmissionError:
+            continue  # can never fit: rejected up front, nothing held
+        try:
+            controller.wait(ticket, timeout=0)
+            admitted.append(ticket)
+        except DeadlineExceeded:
+            pass  # ineligible right now: dropped, nothing held
+    for ticket in admitted:
+        controller.release(ticket)
+
+    assert controller.in_use == 0
+    assert controller.high_water <= capacity
+    usage = controller.tenant_usage()
+    for name, spec in budgets.items():
+        stats = usage[name]
+        assert stats["in_use_bytes"] == 0
+        assert stats["in_flight"] == 0
+        if spec["quota"] is not None:
+            assert stats["peak_in_use_bytes"] <= spec["quota"]
+        if spec["max_in_flight"] is not None:
+            assert stats["peak_in_flight"] <= spec["max_in_flight"]
+
+
+@COMMON
+@given(nbytes=st.integers(1, 1000), quota=st.integers(1, 999))
+def test_oversized_request_rejected_before_queueing(nbytes, quota):
+    controller = AdmissionController(
+        1000, budgets={"a": TenantBudget(quota_bytes=quota)},
+    )
+    if nbytes > quota:
+        with pytest.raises(AdmissionError):
+            controller.enqueue(nbytes, tenant="a")
+        assert controller.waiting == 0
+    else:
+        ticket = controller.wait(controller.enqueue(nbytes, tenant="a"))
+        controller.release(ticket)
+        assert controller.in_use == 0
+
+
+def test_quota_blocked_tenant_does_not_block_others():
+    """Ineligibility steps aside: tenant b admits past a's full quota."""
+    controller = AdmissionController(
+        1000, budgets={"a": TenantBudget(quota_bytes=100)},
+    )
+    first = controller.wait(controller.enqueue(100, tenant="a"))
+    blocked = controller.enqueue(50, priority=100, tenant="a")
+    # b arrives later with lower priority, but a's head is ineligible
+    other = controller.wait(controller.enqueue(200, tenant="b"), timeout=0)
+    assert other.state == "admitted"
+    # releasing a's reservation unblocks its waiter
+    controller.release(first)
+    assert controller.wait(blocked, timeout=0).state == "admitted"
+    controller.release(blocked)
+    controller.release(other)
+    assert controller.in_use == 0
