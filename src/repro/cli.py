@@ -113,14 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH",
         help="write the metrics registry as JSON and print the text dump",
     )
+    parser.add_argument(
+        "--no-adaptive", action="store_true",
+        help="disable mid-query re-planning (never abandon a running "
+        "nested loop for its unnested twin)",
+    )
+    parser.add_argument(
+        "--no-exact-selectivity", action="store_true",
+        help="use the planner's selectivity heuristics instead of exact "
+        "predicate counting at optimization time",
+    )
     return parser
+
+
+def engine_options(args) -> EngineOptions:
+    return EngineOptions(
+        adaptive=not getattr(args, "no_adaptive", False),
+        exact_selectivity=not getattr(args, "no_exact_selectivity", False),
+    )
 
 
 def make_engine(args, tracer=None, metrics=None) -> NestGPU:
     device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
     catalog = generate_tpch(args.scale)
     return NestGPU(
-        catalog, device=device, options=EngineOptions(), mode=args.mode,
+        catalog, device=device, options=engine_options(args), mode=args.mode,
         tracer=tracer, metrics=metrics,
     )
 
@@ -131,7 +148,7 @@ def make_session(args, tracer=None, metrics=None):
     device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
     catalog = generate_tpch(args.scale)
     return EngineSession(
-        catalog, device=device, options=EngineOptions(), mode=args.mode,
+        catalog, device=device, options=engine_options(args), mode=args.mode,
         tracer=tracer, metrics=metrics,
     )
 

@@ -139,11 +139,20 @@ class _Estimate:
     cost_ns: float
 
 
-def estimate_flat_plan_ns(catalog, spec: DeviceSpec, plan: Plan) -> float:
-    """Walk a flat plan, estimating cardinalities and summing Eq. (1)-(5)."""
+def estimate_flat_plan_ns(
+    catalog, spec: DeviceSpec, plan: Plan, selectivity=None,
+) -> float:
+    """Walk a flat plan, estimating cardinalities and summing Eq. (1)-(5).
+
+    ``spec`` may be a :class:`~repro.gpu.spec.DeviceSpec` or a fitted
+    :class:`~repro.core.calibrator.CostCoefficients` — the cost
+    functions read the same attributes from either.  ``selectivity``
+    optionally injects the engine's shared exact-selectivity estimator.
+    """
     from ..plan.builder import PlanBuilder
 
-    builder = PlanBuilder(catalog)  # reuse its selectivity machinery
+    # reuse the builder's selectivity machinery (exact when available)
+    builder = PlanBuilder(catalog, exact_selectivity=selectivity)
 
     def walk(node: Plan) -> _Estimate:
         if isinstance(node, Scan):
@@ -420,7 +429,7 @@ def _touch_transient_support(runtime: Runtime, sp: SubqueryProgram) -> None:
 
 def _estimate_upper(system, plan: Plan, target: SubqueryFilter, s: int) -> float:
     """Analytic Eq. (1) costs for the nodes above the SUBQ filter."""
-    spec = system.device_spec
+    spec = getattr(system, "coefficients", None) or system.device_spec
     out_rows = max(1.0, s * 0.05)  # coarse Dr for the SUBQ selection
     cost = selection_cost_ns(spec, float(s), 1, out_rows, 64.0)
     node = plan
@@ -449,10 +458,18 @@ def _estimate_upper(system, plan: Plan, target: SubqueryFilter, s: int) -> float
 
 
 def predict_paths(system, nested_prepared, unnested_prepared) -> tuple[float, float]:
-    """Predicted ms of device time for (nested, unnested) executions."""
+    """Predicted ms of device time for (nested, unnested) executions.
+
+    The nested side is mostly *measured* (the outer block and probe
+    iterations run for real); the unnested side is fully analytic, so
+    it is the one the engine's current — possibly recalibrated —
+    coefficient set parameterises.
+    """
     nested = predict_nested(system, nested_prepared)
+    coefficients = getattr(system, "coefficients", None) or system.device_spec
     unnested_ns = estimate_flat_plan_ns(
-        system.catalog, system.device_spec, unnested_prepared.plan
+        system.catalog, coefficients, unnested_prepared.plan,
+        selectivity=getattr(system, "selectivity", None),
     )
     return nested.total_ms, unnested_ns / 1e6
 

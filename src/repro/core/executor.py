@@ -23,8 +23,10 @@ from ..plan import Binder, PlanBuilder, try_exists_semijoin
 from ..plan.nodes import Scan
 from ..sql import parse
 from ..storage import Catalog
+from .calibrator import CostCoefficients
 from .codegen import DriveProgram, generate_drive_program
 from .runtime import Runtime, SubqueryProgram
+from .subquery import AdaptiveGovernor, AdaptiveSwitch
 
 
 def _sql_snippet(sql: str, limit: int = 120) -> str:
@@ -66,6 +68,11 @@ class QueryResult:
     # set by the session layer: whether parse→bind→plan was skipped
     # because the plan cache already held this statement
     plan_cache_hit: bool = False
+    # mid-query adaptivity: the nested execution was abandoned at a
+    # loop boundary and the rows come from the unnested rerun;
+    # abandoned_ms is the modelled time the nested attempt sank
+    adaptive_switch: bool = False
+    abandoned_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
@@ -88,6 +95,11 @@ class PreparedQuery:
     sql: str = ""
     # cost-model prediction for the chosen path (auto mode only)
     predicted_ms: float | None = None
+    # when auto chose nested over an unnestable alternative, the loser
+    # rides along as the mid-query fallback with its analytic estimate
+    # (the adaptive governor's abandon budget)
+    fallback: "PreparedQuery | None" = None
+    unnested_ms: float | None = None
 
 
 class NestGPU:
@@ -102,6 +114,7 @@ class NestGPU:
         magic_sets: bool = False,
         tracer=None,
         metrics=None,
+        coefficients: CostCoefficients | None = None,
     ):
         self.catalog = catalog
         self.device_spec = device or DeviceSpec.v100()
@@ -113,6 +126,30 @@ class NestGPU:
         # observability defaults; both overridable per call
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        # cost-model coefficients: start from the device spec (or an
+        # injected — possibly stale — set); a session's Calibrator
+        # refits these from observed timings (core.calibrator)
+        self.coefficients = coefficients or CostCoefficients.from_spec(
+            self.device_spec
+        )
+        # exact single-table selectivity counting (plan.selectivity);
+        # shared by every PlanBuilder this engine constructs so the
+        # per-(table, predicate) counts amortize across queries
+        from ..plan.selectivity import ExactSelectivity
+
+        self.selectivity = (
+            ExactSelectivity(catalog) if self.options.exact_selectivity else None
+        )
+
+    def set_coefficients(self, coefficients: CostCoefficients) -> None:
+        """Swap in a new coefficient set (atomic: one attribute store).
+
+        In-flight ``prepare`` calls finish under whichever set they read
+        first; subsequent calls see the new version.  The caller
+        (``EngineSession.recalibrate``) is responsible for evicting
+        cached auto-mode plans keyed to the old version.
+        """
+        self.coefficients = coefficients
 
     # -- public API ---------------------------------------------------------
 
@@ -163,6 +200,11 @@ class NestGPU:
             nested_ms, unnested_ms = predict_paths(self, nested, unnested)
         if nested_ms <= unnested_ms:
             nested.predicted_ms = nested_ms
+            # the loser rides along: if the nested run turns out slower
+            # than predicted, the adaptive governor abandons it and the
+            # executor reruns this fallback (budget = its estimate)
+            nested.fallback = unnested
+            nested.unnested_ms = unnested_ms
             return nested
         unnested.predicted_ms = unnested_ms
         return unnested
@@ -214,16 +256,68 @@ class NestGPU:
         before_total_ns = device.stats.total_ns
         before_restores = ctx.pools.restores
         before_probes = ctx.index_probes
+        # mid-query adaptivity: only a real (observed) run of an auto
+        # nested plan that carries an unnested twin gets a governor —
+        # cost-model probe runs and forced-mode runs never switch
+        governor = None
+        if (
+            observed
+            and self.options.adaptive
+            and prepared.fallback is not None
+            and prepared.unnested_ms is not None
+        ):
+            governor = AdaptiveGovernor(
+                device,
+                budget_ms=prepared.unnested_ms,
+                hysteresis=self.options.adaptive_hysteresis,
+                min_batches=self.options.adaptive_min_batches,
+            )
+        pool_marks = (
+            ctx.pools.mark_all() if self.options.use_memory_pools else None
+        )
+        effective = prepared
+        abandoned_ms = 0.0
         execute_span = None
         if tracer.enabled:
             execute_span = tracer.begin(
                 "execute", "phase", path=prepared.choice, **(span_attrs or {}),
             )
         try:
-            with tracer.span("preload", "phase"):
-                self._preload(ctx, prepared.program)
-            preload_ns = device.stats.total_ns - before_total_ns
-            rel, runtime = self._execute_program(ctx, prepared.program)
+            try:
+                with tracer.span("preload", "phase"):
+                    self._preload(ctx, prepared.program)
+                preload_ns = device.stats.total_ns - before_total_ns
+                rel, runtime = self._execute_program(
+                    ctx, prepared.program, governor=governor
+                )
+            except AdaptiveSwitch as switch:
+                # the nested attempt lost; its modelled time stays on
+                # the clock (sunk cost) and the unnested twin reruns
+                # from a rewound allocation state
+                effective = prepared.fallback
+                abandoned_ms = (
+                    device.stats.total_ns - before_total_ns
+                ) / 1e6
+                if execute_span is not None:
+                    execute_span.set_attrs(
+                        adaptive_switch=True,
+                        abandoned_ms=abandoned_ms,
+                        switch_reason=str(switch),
+                    )
+                    # closes the abandoned subquery/batch spans left
+                    # dangling by the exception unwind
+                    tracer.end(execute_span)
+                    execute_span = tracer.begin(
+                        "execute", "phase", path="unnested",
+                        adaptive_rerun=True, **(span_attrs or {}),
+                    )
+                if pool_marks is not None:
+                    ctx.pools.restore_all(pool_marks)
+                else:
+                    ctx.raw_alloc.free_all()
+                with tracer.span("preload", "phase"):
+                    self._preload(ctx, effective.program)
+                rel, runtime = self._execute_program(ctx, effective.program)
         finally:
             if execute_span is not None:
                 tracer.end(execute_span)
@@ -234,8 +328,8 @@ class NestGPU:
             rows=rows,
             column_names=list(rel.columns),
             stats=device.snapshot(),
-            plan_choice=prepared.choice,
-            drive_source=prepared.program.source,
+            plan_choice=effective.choice,
+            drive_source=effective.program.source,
             node_times_ns=dict(runtime.node_times_ns),
             node_output_rows=dict(runtime.node_output_rows),
             cache_hits=cache_hits,
@@ -255,6 +349,8 @@ class NestGPU:
             fetch_ns=runtime.fetch_ns,
             index_probes=ctx.index_probes - before_probes,
             pool_restores=ctx.pools.restores - before_restores,
+            adaptive_switch=effective is not prepared,
+            abandoned_ms=abandoned_ms,
         )
         if metrics is not None:
             self._record_metrics(metrics, prepared, result)
@@ -309,7 +405,12 @@ class NestGPU:
         """Fold one run into a :class:`~repro.obs.metrics.MetricsRegistry`."""
         stats = result.stats
         metrics.counter("queries.total").inc()
-        metrics.counter(f"queries.path.{prepared.choice}").inc()
+        metrics.counter(f"queries.path.{result.plan_choice}").inc()
+        if result.adaptive_switch:
+            metrics.counter("costmodel.adaptive.switches").inc()
+            metrics.histogram("costmodel.adaptive.abandoned_ms").observe(
+                result.abandoned_ms
+            )
         metrics.counter("subquery.cache.hits").inc(result.cache_hits)
         metrics.counter("subquery.cache.misses").inc(result.cache_misses)
         probes = result.cache_hits + result.cache_misses
@@ -346,7 +447,8 @@ class NestGPU:
             metrics.histogram("costmodel.abs_error_pct").observe(abs(error_pct))
         metrics.record_query(
             sql=_sql_snippet(prepared.sql),
-            path=prepared.choice,
+            path=result.plan_choice,
+            adaptive_switch=result.adaptive_switch,
             total_ms=result.total_ms,
             predicted_ms=result.predicted_ms,
             predicted_error_pct=error_pct,
@@ -380,7 +482,9 @@ class NestGPU:
         with tracer.span("bind", "phase", path=choice):
             block = Binder(self.catalog).bind(stmt)
         with tracer.span("plan", "phase", path=choice):
-            builder = PlanBuilder(self.catalog)
+            builder = PlanBuilder(
+                self.catalog, exact_selectivity=self.selectivity
+            )
             plan = builder.build(block)
             # the EXISTS -> semi-join fast path (paper: Q4) is part of the
             # nested engine's plan-level optimizations; re-prune because the
@@ -400,19 +504,21 @@ class NestGPU:
             block = Binder(self.catalog).bind(stmt)
         with tracer.span("plan", "phase", path="unnested"):
             builder = PlanBuilder(
-                self.catalog, unnest=True, magic_sets=self.magic_sets
+                self.catalog, unnest=True, magic_sets=self.magic_sets,
+                exact_selectivity=self.selectivity,
             )
             plan = builder.build(block)
         with tracer.span("codegen", "phase", path="unnested"):
             program = generate_drive_program(builder, plan)
         return PreparedQuery(block, plan, program, "unnested", sql=sql)
 
-    def _execute_program(self, ctx, program: DriveProgram):
+    def _execute_program(self, ctx, program: DriveProgram, governor=None):
         subprograms = [
             SubqueryProgram(ctx, spec.descriptor, spec.plan, self.options.vector_batch)
             for spec in program.specs
         ]
         runtime = Runtime(ctx, program.nodes, subprograms)
+        runtime.governor = governor
         namespace: dict = {}
         exec(program.code, namespace)
         rel = namespace["drive"](runtime)

@@ -192,6 +192,11 @@ class Runtime:
         # invariant hoisting, parameter transfer, uncorrelated eval
         self.subquery_overhead_ns: dict[int, float] = {}
         self.fetch_ns = 0.0
+        # mid-query adaptivity: set by the executor when the prepared
+        # query carries an unnested fallback; the SUBQ loops report
+        # their progress and the governor may raise AdaptiveSwitch at a
+        # unit boundary (never mid-batch — modelled costs stay whole)
+        self.governor = None
 
     # -- timing -------------------------------------------------------------
 
@@ -397,6 +402,11 @@ class Runtime:
         else:
             vector = ScalarResultVector(size)
         self.ctx.alloc_intermediate(vector.nbytes)
+        if self.governor is not None:
+            # the drive program allocates the result vector right
+            # before entering the loop: pin the loop's clock start here
+            # so extrapolation covers exactly the per-unit work
+            self.governor.loop_started(sp, size)
         return vector
 
     def eval_invariants(self, sp: SubqueryProgram, outer: Relation) -> None:
@@ -434,6 +444,10 @@ class Runtime:
     def param_env(
         self, sp: SubqueryProgram, corr: dict[str, np.ndarray], i: int
     ) -> dict[str, float]:
+        if self.governor is not None and i > 0:
+            # i iterations have fully completed; check before starting
+            # the next so a switch never splits an iteration
+            self.governor.iteration_done(sp, i)
         key = sp.descriptor.index
         self.subquery_iterations[key] = self.subquery_iterations.get(key, 0) + 1
         tracer = self.tracer
@@ -643,6 +657,10 @@ class Runtime:
         finally:
             if span is not None:
                 tracer.end(span)
+        if self.governor is not None:
+            # after the span closes: a switch raised here unwinds with
+            # the batch fully accounted
+            self.governor.batch_done(sp, hi)
 
     def _run_vector_batch(self, sp, corr, lo, hi, vector, span) -> None:
         rows = np.arange(lo, hi)

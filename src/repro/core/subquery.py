@@ -1,11 +1,23 @@
-"""Subquery result vectors (paper Section III-B).
+"""Subquery result vectors and the mid-query adaptivity governor.
 
-For type-JA subqueries every evaluation returns a scalar, so results
-form a fixed-width vector (:class:`ScalarResultVector`).  Type-J
-results (``IN``) have variable length; the paper stores them as a
-two-level array — per-iteration lengths plus a concatenated value
-buffer (:class:`TwoLevelResultVector`).  EXISTS results degenerate to
-a boolean vector.
+Result vectors (paper Section III-B): for type-JA subqueries every
+evaluation returns a scalar, so results form a fixed-width vector
+(:class:`ScalarResultVector`).  Type-J results (``IN``) have variable
+length; the paper stores them as a two-level array — per-iteration
+lengths plus a concatenated value buffer
+(:class:`TwoLevelResultVector`).  EXISTS results degenerate to a
+boolean vector.
+
+The :class:`AdaptiveGovernor` is the safety net behind the cost
+model's nested-vs-unnested choice: the SUBQ drive loop reports
+progress at every batch/iteration boundary, the governor extrapolates
+the remaining loop cost from the elapsed modelled time (the same
+islands idea Eq. (6) uses at prediction time, but over *real* work
+units), and when the projection exceeds the unnested estimate by a
+hysteresis factor it raises :class:`AdaptiveSwitch` — the executor
+catches it, rewinds the pools, and reruns the query's unnested twin.
+Rows stay bit-identical because nothing of the abandoned loop
+survives; only the modelled clock keeps the sunk cost.
 """
 
 from __future__ import annotations
@@ -130,3 +142,105 @@ class TwoLevelResultVector:
             if stop > start:
                 out[row] = bool(np.any(self.values[start:stop] == probe[row]))
         return out
+
+
+class AdaptiveSwitch(Exception):
+    """Raised at a SUBQ loop boundary to abandon the nested execution.
+
+    Carries the evidence for the trace/metrics record; the executor is
+    the only intended catcher.
+    """
+
+    def __init__(self, subquery_index: int, done: int, total: int,
+                 elapsed_ms: float, projected_remaining_ms: float,
+                 budget_ms: float):
+        self.subquery_index = subquery_index
+        self.done = done
+        self.total = total
+        self.elapsed_ms = elapsed_ms
+        self.projected_remaining_ms = projected_remaining_ms
+        self.budget_ms = budget_ms
+        super().__init__(
+            f"subquery #{subquery_index}: {done}/{total} units in "
+            f"{elapsed_ms:.3f} ms, projected {projected_remaining_ms:.3f} ms "
+            f"remaining > budget {budget_ms:.3f} ms"
+        )
+
+
+class AdaptiveGovernor:
+    """Watches SUBQ drive loops and aborts a losing nested execution.
+
+    Created per run by the executor when a prepared query carries an
+    unnested fallback (auto mode chose nested).  The runtime reports:
+
+    * ``loop_started`` once per correlated loop (before the first
+      batch/iteration), pinning the loop's start on the modelled clock;
+    * ``batch_done`` / ``iteration_done`` at every unit boundary.
+
+    After ``min_batches`` batches (or a fixed minimum of iterations on
+    the unvectorized path) the governor extrapolates::
+
+        projected_remaining = elapsed * (total - done) / done
+
+    and raises :class:`AdaptiveSwitch` when that exceeds
+    ``budget_ms * hysteresis``.  The sunk cost is deliberately excluded
+    — past work is paid either way; only the *remaining* nested work
+    competes with a fresh unnested run.  The hysteresis factor absorbs
+    extrapolation noise (early batches carry warm-up effects and the
+    estimate ignores cache-hit tapering), so marginal cases stay on the
+    predicted path and only clear losses switch.
+    """
+
+    #: the unvectorized loop reports every iteration; demand at least
+    #: this many before trusting the extrapolation
+    MIN_ITERATIONS = 8
+
+    def __init__(self, device, budget_ms: float, hysteresis: float = 1.5,
+                 min_batches: int = 2):
+        if budget_ms < 0:
+            raise ValueError("budget must be non-negative")
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis factor must be >= 1")
+        self.device = device
+        self.budget_ms = budget_ms
+        self.hysteresis = hysteresis
+        self.min_batches = max(1, min_batches)
+        self._loops: dict[int, dict] = {}
+        self.fired: AdaptiveSwitch | None = None
+
+    def loop_started(self, sp, total: int) -> None:
+        self._loops[id(sp)] = {
+            "start_ns": self.device.stats.total_ns,
+            "total": total,
+            "units": 0,
+        }
+
+    def batch_done(self, sp, done: int) -> None:
+        self._check(sp, done, self.min_batches)
+
+    def iteration_done(self, sp, done: int) -> None:
+        self._check(sp, done, max(self.MIN_ITERATIONS, self.min_batches))
+
+    def _check(self, sp, done: int, min_units: int) -> None:
+        if self.fired is not None:
+            return
+        state = self._loops.get(id(sp))
+        if state is None:
+            return
+        state["units"] += 1
+        total = state["total"]
+        if state["units"] < min_units or done <= 0 or done >= total:
+            return
+        elapsed_ns = self.device.stats.total_ns - state["start_ns"]
+        projected_ns = elapsed_ns * (total - done) / done
+        if projected_ns <= self.budget_ms * 1e6 * self.hysteresis:
+            return
+        self.fired = AdaptiveSwitch(
+            subquery_index=sp.descriptor.index,
+            done=done,
+            total=total,
+            elapsed_ms=elapsed_ns / 1e6,
+            projected_remaining_ms=projected_ns / 1e6,
+            budget_ms=self.budget_ms,
+        )
+        raise self.fired

@@ -27,6 +27,15 @@ class EngineOptions:
     # correlated column: expected iterations * table size must beat
     # sort cost (see core.indexing)
     index_min_iterations: int = 8
+    # count single-table selectivities exactly at optimization time
+    # instead of the PlanBuilder heuristics (plan.selectivity)
+    exact_selectivity: bool = True
+    # mid-query re-planning: abandon a running nested loop when the
+    # extrapolated remaining cost exceeds the unnested estimate by the
+    # hysteresis factor, and rerun unnested (core.subquery)
+    adaptive: bool = True
+    adaptive_min_batches: int = 2
+    adaptive_hysteresis: float = 1.5
 
     @staticmethod
     def all_off() -> "EngineOptions":
@@ -36,6 +45,8 @@ class EngineOptions:
             use_cache=False,
             use_vectorization=False,
             use_invariant_extraction=False,
+            exact_selectivity=False,
+            adaptive=False,
         )
 
 

@@ -46,6 +46,11 @@ class Device:
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.stats = ExecutionStats()
         self._in_use = 0
+        # optional observer of charged costs (a cost-model Calibrator):
+        # receives every kernel/transfer/materialization observation.
+        # Like the tracer, None keeps the hot path at one attribute
+        # check and modelled times bit-identical.
+        self.sampler = None
 
     # -- memory ---------------------------------------------------------
 
@@ -113,6 +118,8 @@ class Device:
             self.stats.kernel_time_by_tag.get(tag, 0.0) + time_ns
         )
         self.stats.launches_by_tag[tag] = self.stats.launches_by_tag.get(tag, 0) + 1
+        if self.sampler is not None:
+            self.sampler.record_kernel(elements, work, time_ns)
         if self.tracer.enabled:
             self.tracer.leaf(tag, "kernel", time_ns, elements=elements)
         return time_ns
@@ -122,6 +129,8 @@ class Device:
         time_ns = nbytes * self.spec.materialize_ns_per_byte
         self.stats.materialize_bytes += nbytes
         self.stats.materialize_time_ns += time_ns
+        if self.sampler is not None:
+            self.sampler.record_materialize(nbytes, time_ns)
         if self.tracer.enabled:
             self.tracer.leaf("materialize", "materialize", time_ns, bytes=nbytes)
         return time_ns
@@ -133,6 +142,8 @@ class Device:
         time_ns = nbytes / self.spec.pcie_bytes_per_ns
         self.stats.h2d_bytes += nbytes
         self.stats.h2d_time_ns += time_ns
+        if self.sampler is not None:
+            self.sampler.record_transfer(nbytes, time_ns)
         if self.tracer.enabled:
             self.tracer.leaf("h2d", "transfer", time_ns, bytes=nbytes)
         return time_ns
@@ -142,6 +153,8 @@ class Device:
         time_ns = nbytes / self.spec.pcie_bytes_per_ns
         self.stats.d2h_bytes += nbytes
         self.stats.d2h_time_ns += time_ns
+        if self.sampler is not None:
+            self.sampler.record_transfer(nbytes, time_ns)
         if self.tracer.enabled:
             self.tracer.leaf("d2h", "transfer", time_ns, bytes=nbytes)
         return time_ns

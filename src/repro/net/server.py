@@ -395,6 +395,16 @@ class NetServer:
         query_id = payload.get("query_id")
         remaining = conn.cursors.get(query_id)
         if remaining is None:
+            # a known, finished query with no cursor simply has no rows
+            # left (zero-row result, or the RESULT frame delivered
+            # everything): that's a terminal empty page, not an error
+            ticket = conn.tickets.get(query_id)
+            if ticket is not None and ticket.done():
+                await conn.send(Opcode.ROWS, {
+                    "query_id": query_id, "rows": [],
+                    "more": False, "done": True,
+                })
+                return
             await conn.send_error(
                 ErrorCode.UNKNOWN_QUERY,
                 f"no open cursor for query {query_id}", query_id,
@@ -408,6 +418,7 @@ class NetServer:
             del conn.cursors[query_id]
         await conn.send(Opcode.ROWS, {
             "query_id": query_id, "rows": page, "more": bool(rest),
+            "done": not rest,
         })
 
     async def _on_cancel(self, conn: _Connection, payload: dict) -> None:

@@ -125,6 +125,28 @@ class MetricsRegistry:
         """Append one query's summary (sql, path, predicted/actual ms, ...)."""
         self.query_log.append(entry)
 
+    def cost_error_summary(self, start: int = 0, stop: int | None = None) -> dict:
+        """Aggregate cost-model prediction error over a query-log slice.
+
+        The calibration smoke compares the slice before recalibration
+        against the slice after it; ``predicted`` counts the queries
+        that actually carried a prediction (auto-mode runs).
+        """
+        entries = self.query_log[start:stop]
+        errors = [
+            abs(e["predicted_error_pct"])
+            for e in entries
+            if e.get("predicted_error_pct") is not None
+        ]
+        return {
+            "queries": len(entries),
+            "predicted": len(errors),
+            "mean_abs_error_pct": (
+                sum(errors) / len(errors) if errors else None
+            ),
+            "max_abs_error_pct": max(errors) if errors else None,
+        }
+
     def dump_prefix(self, prefix: str) -> dict:
         """Counters/gauges/histograms under one name prefix.
 

@@ -61,12 +61,18 @@ class PlanBuilder:
         magic_sets: with ``unnest``, seed each derived table with the
             outer block's correlated key values (the MonetDB-like
             push-down).
+        exact_selectivity: a shared
+            :class:`~repro.plan.selectivity.ExactSelectivity` estimator;
+            when set, single-table predicates are counted exactly and
+            the heuristics below only back up the unsupported cases.
     """
 
-    def __init__(self, catalog: Catalog, unnest: bool = False, magic_sets: bool = False):
+    def __init__(self, catalog: Catalog, unnest: bool = False,
+                 magic_sets: bool = False, exact_selectivity=None):
         self.catalog = catalog
         self.unnest = unnest
         self.magic_sets = magic_sets
+        self.exact_selectivity = exact_selectivity
         self._distinct_cache: dict[tuple[str, str], int] = {}
         self._derived_counter = 0
 
@@ -359,9 +365,20 @@ class PlanBuilder:
         return self._distinct_cache[key]
 
     def _selectivity(self, predicate: PlanExpr, table_name: str | None) -> float:
-        """A coarse selectivity estimate for join ordering and costing."""
+        """A selectivity estimate for join ordering and costing.
+
+        With an :class:`~repro.plan.selectivity.ExactSelectivity`
+        estimator attached, supported predicates (single-table,
+        parameter-free) are counted exactly — including compound
+        predicates, whose conjunct correlation the heuristic product
+        below cannot see.  Everything else keeps the coarse guesses.
+        """
         from .expressions import BoolOp, InCodes, NotOp
 
+        if self.exact_selectivity is not None:
+            exact = self.exact_selectivity.lookup(predicate, table_name)
+            if exact is not None:
+                return exact
         if isinstance(predicate, BoolOp):
             left = self._selectivity(predicate.left, table_name)
             right = self._selectivity(predicate.right, table_name)

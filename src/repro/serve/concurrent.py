@@ -757,7 +757,9 @@ class AsyncEngine:
         return [self.submit(sql) for sql in statements]
 
     def _retry_after_locked(self) -> float:
-        service = self._service_ema_s if self._service_ema_s else 0.05
+        # `is None` — a genuine measured EMA of 0.0 (sub-resolution
+        # services) must not be mistaken for "no sample yet"
+        service = self._service_ema_s if self._service_ema_s is not None else 0.05
         return max(0.001, len(self._pending) * service / self.workers)
 
     # -- the worker ------------------------------------------------------

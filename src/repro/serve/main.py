@@ -19,6 +19,15 @@ the :class:`~repro.serve.concurrent.AsyncEngine`: N worker threads
 (one per modelled stream) execute the workload *for real* against the
 shared session, and the report carries wall-clock timings alongside
 the modelled placement.
+
+``--calibrate`` closes the cost model's feedback loop: the workload
+runs twice, with an online recalibration between the passes, and the
+before/after predicted-vs-actual error is printed (and written as
+JSON with ``--calibration-report``).  ``--stale-model FACTOR`` seeds
+deliberately wrong coefficients so the recovery is visible:
+
+    python -m repro.cli serve --paper-mix --scale 0.1 \
+        --calibrate --stale-model 0.04 --calibration-report cal.json
 """
 
 from __future__ import annotations
@@ -70,6 +79,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verify-solo", action="store_true",
                         help="check fresh-session latencies are bit-identical "
                         "to the single-query engine")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="run the workload twice with an online cost-model "
+                        "recalibration between the passes, and report the "
+                        "predicted-vs-actual error before and after")
+    parser.add_argument("--stale-model", type=float, default=None,
+                        metavar="FACTOR",
+                        help="seed the cost model with coefficients scaled by "
+                        "FACTOR (simulates a stale/mis-specified model; "
+                        "combine with --calibrate to watch it recover)")
+    parser.add_argument("--calibration-report", metavar="PATH",
+                        help="write the before/after calibration error report "
+                        "as JSON (requires --calibrate)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print per-query placement lines")
     return parser
@@ -130,11 +151,17 @@ def serve_main(argv: list[str] | None = None) -> int:
         print("error: workload is empty", file=sys.stderr)
         return 2
 
+    if args.calibration_report and not args.calibrate:
+        print("error: --calibration-report requires --calibrate",
+              file=sys.stderr)
+        return 2
     device = (
         DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
     )
     metrics = None
-    if args.metrics:
+    if args.metrics or args.calibrate:
+        # the calibration flow reads prediction errors off the query
+        # log, so it needs a registry even without --metrics
         from ..obs import MetricsRegistry
 
         metrics = MetricsRegistry()
@@ -142,11 +169,25 @@ def serve_main(argv: list[str] | None = None) -> int:
     def catalog_factory():
         return generate_tpch(args.scale)
 
+    coefficients = None
+    if args.stale_model is not None:
+        from ..core.calibrator import CostCoefficients
+
+        try:
+            coefficients = CostCoefficients.from_spec(device).scaled(
+                args.stale_model
+            )
+        except ValueError as exc:
+            print(f"error: --stale-model: {exc}", file=sys.stderr)
+            return 2
+
     session = EngineSession(
         catalog_factory(), device=device, options=EngineOptions(),
-        mode=args.mode, metrics=metrics,
+        mode=args.mode, metrics=metrics, coefficients=coefficients,
     )
-    try:
+
+    def run_pass():
+        """One full workload pass (fresh scheduler, shared session)."""
         if args.concurrency:
             from .concurrent import AsyncEngine
 
@@ -155,17 +196,78 @@ def serve_main(argv: list[str] | None = None) -> int:
             drained = engine.drain(timeout=args.timeout)
             engine.shutdown(drain=False, timeout=10.0)
             if not drained:
+                return None
+            return engine.report()
+        scheduler = QueryScheduler(session, streams=args.streams)
+        scheduler.submit_all(statements)
+        return scheduler.run()
+
+    calibration_payload = None
+    try:
+        report = run_pass()
+        if report is None:
+            print(
+                f"error: workload did not drain within "
+                f"{args.timeout:.0f}s",
+                file=sys.stderr,
+            )
+            return 1
+        if args.calibrate:
+            boundary = len(metrics.query_log)
+            before = metrics.cost_error_summary(0, boundary)
+            before_coeff = session.engine.coefficients
+            recal = session.recalibrate()
+            if recal is None:
                 print(
-                    f"error: workload did not drain within "
+                    "calibration: not enough kernel samples to fit; "
+                    "coefficients unchanged",
+                    file=sys.stderr,
+                )
+                return 1
+            report = run_pass()
+            if report is None:
+                print(
+                    f"error: second pass did not drain within "
                     f"{args.timeout:.0f}s",
                     file=sys.stderr,
                 )
                 return 1
-            report = engine.report()
-        else:
-            scheduler = QueryScheduler(session, streams=args.streams)
-            scheduler.submit_all(statements)
-            report = scheduler.run()
+            after = metrics.cost_error_summary(start=boundary)
+            fitted = session.engine.coefficients
+            print(
+                f"recalibration: cost-model version "
+                f"{before_coeff.version} -> {fitted.version}, "
+                f"{recal['plan_cache_evicted']} cached plans evicted"
+            )
+            print(
+                "prediction error: mean "
+                f"{before['mean_abs_error_pct']:.1f}% -> "
+                f"{after['mean_abs_error_pct']:.1f}% "
+                f"(max {before['max_abs_error_pct']:.1f}% -> "
+                f"{after['max_abs_error_pct']:.1f}%)"
+            )
+            calibration_payload = {
+                "workload": len(statements),
+                "before": {
+                    "coefficients": before_coeff.to_dict(),
+                    "error": before,
+                },
+                "after": {
+                    "coefficients": fitted.to_dict(),
+                    "error": after,
+                },
+                "recalibration": {
+                    "version": recal["version"],
+                    "plan_cache_evicted": recal["plan_cache_evicted"],
+                    "samples": recal["samples"],
+                },
+                "improved": (
+                    before["mean_abs_error_pct"] is not None
+                    and after["mean_abs_error_pct"] is not None
+                    and after["mean_abs_error_pct"]
+                    < before["mean_abs_error_pct"]
+                ),
+            }
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -210,9 +312,17 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.trace:
         report.write_chrome_trace(args.trace)
         print(f"trace written to {args.trace}", file=sys.stderr)
-    if metrics is not None:
+    if args.metrics and metrics is not None:
         metrics.write_json(args.metrics)
         print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if args.calibration_report and calibration_payload is not None:
+        with open(args.calibration_report, "w") as handle:
+            json.dump(calibration_payload, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"calibration report written to {args.calibration_report}",
+            file=sys.stderr,
+        )
 
     if args.verify_solo:
         mismatches = verify_solo_identity(

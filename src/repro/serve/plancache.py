@@ -29,15 +29,28 @@ both put — the second put wins; wasted work, never a wrong plan.
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import OrderedDict
 
 from ..core.executor import PreparedQuery
 
+# string literals must survive normalization byte-for-byte: whitespace
+# inside quotes is data, not layout ('' is SQL's escaped quote)
+_LITERAL_RE = re.compile(r"('(?:[^']|'')*'|\"[^\"]*\")")
+_WS_RE = re.compile(r"\s+")
+
 
 def normalize_sql(sql: str) -> str:
-    """Collapse all whitespace runs — the cache's textual identity."""
-    return " ".join(sql.split())
+    """Collapse whitespace runs outside string literals — the cache's
+    textual identity.  ``WHERE c = 'a  b'`` and ``WHERE c = 'a b'`` are
+    different statements and must never share a plan-cache entry."""
+    parts = _LITERAL_RE.split(sql)
+    # even indices are the segments between literals; odd indices are
+    # the captured literals themselves
+    for i in range(0, len(parts), 2):
+        parts[i] = _WS_RE.sub(" ", parts[i])
+    return "".join(parts).strip()
 
 
 class PlanCache:
@@ -89,6 +102,21 @@ class PlanCache:
             if self._entries:
                 self._entries.clear()
             self.invalidations += 1
+
+    def invalidate_mode(self, mode: str) -> int:
+        """Drop entries planned under one execution mode.
+
+        Recalibration changes only what the cost model would *choose*,
+        so only mode-sensitive (``auto``) entries go stale; forced
+        nested/unnested plans survive.  Returns the eviction count.
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if k[1] == mode]
+            for k in doomed:
+                del self._entries[k]
+            if doomed:
+                self.invalidations += 1
+            return len(doomed)
 
     @property
     def hit_ratio(self) -> float:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import re
 
 from ..core import NestGPU, PreparedQuery, QueryResult
+from ..core.calibrator import Calibrator, CostCoefficients
 from ..core.executor import _sql_snippet, preload_columns
 from ..engine import ColumnResidency, EngineOptions, ExecutionContext
 from ..gpu import Device, DeviceSpec, PoolSet, RawDeviceAllocator
@@ -123,6 +124,8 @@ class EngineSession:
         tracer=None,
         metrics=None,
         plan_cache_capacity: int = 128,
+        coefficients: CostCoefficients | None = None,
+        calibration: bool = True,
     ):
         self.catalog = catalog
         self.lock = OwnedLock()
@@ -130,9 +133,17 @@ class EngineSession:
         self.metrics = metrics
         self.engine = NestGPU(
             catalog, device=device, options=options, mode=mode,
-            tracer=self.tracer, metrics=metrics,
+            tracer=self.tracer, metrics=metrics, coefficients=coefficients,
         )
         self.device = Device(self.engine.device_spec, tracer=self.tracer)
+        # the feedback loop's observe side: the session device samples
+        # every kernel/transfer/materialization into the calibrator,
+        # and recalibrate() refits the cost-model coefficients from them
+        self.calibrator = (
+            Calibrator(self.engine.device_spec.threads) if calibration else None
+        )
+        if self.calibrator is not None:
+            self.device.sampler = self.calibrator
         self.pools = PoolSet(self.device)
         self.raw_alloc = RawDeviceAllocator(self.device)
         self.residency = ColumnResidency(self.device, lru=True)
@@ -215,6 +226,46 @@ class EngineSession:
     ) -> SessionPrepared:
         """A client-side prepared statement over ``$1..$n`` holes."""
         return SessionPrepared(self, template, mode)
+
+    # -- cost-model feedback ----------------------------------------------
+
+    def recalibrate(self, min_samples: int = 32) -> dict | None:
+        """Refit cost-model coefficients from observed device timings.
+
+        The predict → observe → correct loop's correct step: least
+        squares over the kernel/transfer samples the session device
+        collected (Eq. (1)'s ``C`` and ``K``, the PCIe bandwidth, the
+        materialization rate).  On success the engine's coefficient set
+        is swapped atomically (version bumped — the cost-model twin of
+        ``Catalog.version``) and every mode-sensitive (``auto``) plan
+        cache entry is evicted, because the nested-vs-unnested choice
+        baked into those plans may flip under the new coefficients.
+
+        Returns a summary dict, or ``None`` when the sample window is
+        too small to fit (the engine keeps its current coefficients).
+        """
+        with self.lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self.calibrator is None:
+                raise RuntimeError("session was built with calibration=False")
+            fitted = self.calibrator.fit(
+                self.engine.coefficients, min_samples=min_samples
+            )
+            if fitted is None:
+                return None
+            self.engine.set_coefficients(fitted)
+            evicted = self.plan_cache.invalidate_mode("auto")
+            if self.metrics is not None:
+                self.metrics.counter("costmodel.recalibrations").inc()
+                self.metrics.counter("costmodel.plans_invalidated").inc(evicted)
+                self.metrics.gauge("costmodel.version").set(fitted.version)
+            return {
+                "coefficients": fitted,
+                "version": fitted.version,
+                "plan_cache_evicted": evicted,
+                "samples": self.calibrator.sample_counts(),
+            }
 
     # -- execution -------------------------------------------------------
 
@@ -353,4 +404,13 @@ class EngineSession:
             "index_cache_entries": len(self.index_cache),
             "device_in_use_bytes": self.device.memory_in_use,
             "device_capacity_bytes": self.device_capacity_bytes,
+            "cost_model": {
+                "version": self.engine.coefficients.version,
+                "source": self.engine.coefficients.source,
+                "samples": (
+                    self.calibrator.sample_counts()
+                    if self.calibrator is not None
+                    else None
+                ),
+            },
         }

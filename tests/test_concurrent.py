@@ -199,6 +199,28 @@ class TestLifecycle:
             assert engine.drain(timeout=DRAIN_TIMEOUT)
             engine.shutdown(drain=False, timeout=10.0)
 
+    def test_retry_after_honours_measured_zero_ema(self, catalog):
+        """Regression: ``retry_after`` used a falsy check on the service
+        EMA, so a genuine measured 0.0 (services faster than the clock
+        resolution) fell back to the 50 ms cold-start guess — a 50x
+        over-estimate handed to every backpressured client."""
+        with EngineSession(catalog) as session:
+            engine = AsyncEngine(
+                session, workers=1, queue_capacity=2, autostart=False,
+            )
+            try:
+                engine.submit_all(paper_mix_statements()[:2])
+                with engine._work:
+                    # no sample yet: the cold-start guess (2 queued,
+                    # 50 ms each, 1 worker -> 0.1 s)
+                    assert engine._service_ema_s is None
+                    assert engine._retry_after_locked() == pytest.approx(0.1)
+                    # a measured all-zero EMA is a sample, not a gap
+                    engine._service_ema_s = 0.0
+                    assert engine._retry_after_locked() == 0.001
+            finally:
+                engine.shutdown(drain=False, timeout=10.0)
+
     def test_shutdown_without_drain_cancels_queued(self, catalog):
         with EngineSession(catalog) as session:
             engine = AsyncEngine(session, workers=1, autostart=False)

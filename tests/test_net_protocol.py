@@ -21,6 +21,7 @@ import pytest
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     HEADER_SIZE,
+    ErrorCode,
     FrameDecoder,
     FrameError,
     Opcode,
@@ -221,3 +222,104 @@ def test_error_payload_shape():
     payload = error_payload("backpressure", "full", retry_after_s=0.1)
     assert payload["retry_after_s"] == 0.1
     assert "query_id" not in payload
+
+
+# -- cursor semantics over a live server ------------------------------
+#
+# Regression: a FETCH against a query whose RESULT frame already
+# delivered every row (or that had no rows at all) used to be answered
+# with an UNKNOWN_QUERY error — clients paginating defensively saw a
+# spurious failure after a clean result.  A finished query with no
+# cursor is a terminal empty page; only genuinely unknown ids error.
+
+
+class TestFetchAfterDelivery:
+    @pytest.fixture(scope="class")
+    def stack(self):
+        from conftest import make_rst_catalog
+        from repro.net import NetServer, ServerThread, demo_registry
+        from repro.serve import AsyncEngine, EngineSession
+
+        session = EngineSession(make_rst_catalog())
+        registry = demo_registry()
+        engine = AsyncEngine(
+            session, workers=1,
+            tenant_budgets=registry.budgets(session.device_capacity_bytes),
+            tenant_weights=registry.weights(),
+        )
+        server = ServerThread(NetServer(engine, registry)).start()
+        yield server
+        engine.shutdown(drain=False, timeout=10.0)
+        server.stop()
+        session.close()
+
+    @pytest.fixture()
+    def client(self, stack):
+        from repro.net import ReproNetClient
+
+        with ReproNetClient(
+            stack.host, stack.port, token="alpha-token",
+        ) as c:
+            yield c
+
+    def fetch(self, client, query_id):
+        client.send_frame(Opcode.FETCH, {"query_id": query_id})
+        return client.recv_frame()
+
+    def test_fetch_after_zero_row_result(self, client):
+        query_id = client.execute(
+            "SELECT r_col1 FROM r WHERE r_col1 < 0", wait=False,
+        )
+        result = client.wait(query_id)
+        assert result.num_rows == 0
+        opcode, payload = self.fetch(client, query_id)
+        assert opcode == Opcode.ROWS
+        assert payload == {"query_id": query_id, "rows": [],
+                           "more": False, "done": True}
+
+    def test_fetch_after_fully_delivered_result(self, client):
+        query_id = client.execute("SELECT r_col1 FROM r", wait=False)
+        result = client.wait(query_id)
+        assert result.num_rows > 0
+        opcode, payload = self.fetch(client, query_id)
+        assert opcode == Opcode.ROWS
+        assert payload["rows"] == [] and payload["done"] is True
+
+    def test_fetch_after_drained_cursor(self, client):
+        # paginate a multi-page result to exhaustion, then over-fetch
+        query_id = client.execute(
+            "SELECT r_col1 FROM r", fetch_size=7, wait=False,
+        )
+        opcode, payload = client._recv_for_query(
+            query_id, (Opcode.RESULT,),
+        )
+        assert opcode == Opcode.RESULT and payload["more"]
+        rows = list(payload["rows"])
+        done = False
+        while not done:
+            opcode, page = self.fetch(client, query_id)
+            assert opcode == Opcode.ROWS
+            rows.extend(page["rows"])
+            done = page["done"]
+            assert page["done"] is (not page["more"])
+        assert len(rows) == payload["num_rows"]
+        opcode, extra = self.fetch(client, query_id)
+        assert opcode == Opcode.ROWS
+        assert extra["rows"] == [] and extra["done"] is True
+
+    def test_unknown_query_id_still_errors(self, client):
+        opcode, payload = self.fetch(client, 424242)
+        assert opcode == Opcode.ERROR
+        assert payload["code"] == ErrorCode.UNKNOWN_QUERY
+
+    def test_row_pages_carry_done_flag(self, client):
+        query_id = client.execute(
+            "SELECT r_col1 FROM r", fetch_size=25, wait=False,
+        )
+        opcode, payload = client._recv_for_query(
+            query_id, (Opcode.RESULT,),
+        )
+        assert payload["more"]
+        opcode, page = self.fetch(client, query_id)
+        assert page["done"] is True and page["more"] is False
+        assert len(payload["rows"]) + len(page["rows"]) == payload["num_rows"]

@@ -56,6 +56,27 @@ class TestPlanCacheUnit:
     def test_normalize_collapses_whitespace(self):
         assert normalize_sql("SELECT  1\n  FROM t") == "SELECT 1 FROM t"
 
+    def test_normalize_preserves_quoted_whitespace(self):
+        # whitespace inside a string literal is data, not formatting
+        assert (
+            normalize_sql("SELECT  1 WHERE c = 'a  b'")
+            == "SELECT 1 WHERE c = 'a  b'"
+        )
+        assert normalize_sql("WHERE c = 'a  b'") != normalize_sql(
+            "WHERE c = 'a b'"
+        )
+
+    def test_normalize_handles_escaped_quotes(self):
+        # '' is an escaped quote: the literal runs to the real close
+        sql = "SELECT 'it''s  here',   2"
+        assert normalize_sql(sql) == "SELECT 'it''s  here', 2"
+
+    def test_normalize_preserves_double_quoted_identifiers(self):
+        assert (
+            normalize_sql('SELECT  "my  col" FROM t')
+            == 'SELECT "my  col" FROM t'
+        )
+
 
 class TestSessionPlanCache:
     def test_hit_on_identical_sql(self, session):
@@ -84,6 +105,36 @@ class TestSessionPlanCache:
             catalog.replace(generate_tpch(0.1).table("orders"))
             assert not session.execute(Q4).plan_cache_hit
             assert session.plan_cache.invalidations == 1
+
+
+class TestQuoteAwareCacheKeys:
+    """Regression: literals that differ only in internal whitespace
+    used to collapse to one cache key, so the second query silently
+    returned the first query's cached plan — and its rows."""
+
+    @pytest.fixture()
+    def docs_session(self):
+        from repro.storage import Catalog, Table, int_type, string_type
+
+        table = Table.from_pydict(
+            "docs", [("c", string_type(8)), ("v", int_type(4))],
+            {"c": ["a  b", "a  b", "a  b", "a b"], "v": [1, 2, 3, 4]},
+        )
+        with EngineSession(Catalog([table])) as s:
+            yield s
+
+    def test_distinct_literals_get_distinct_entries(self, docs_session):
+        wide = docs_session.execute("SELECT v FROM docs WHERE c = 'a  b'")
+        narrow = docs_session.execute("SELECT v FROM docs WHERE c = 'a b'")
+        assert not narrow.plan_cache_hit
+        assert len(docs_session.plan_cache) == 2
+        assert rows_set(wide) == [(1,), (2,), (3,)]
+        assert rows_set(narrow) == [(4,)]
+
+    def test_formatting_around_literals_still_hits(self, docs_session):
+        docs_session.execute("SELECT v FROM docs WHERE c = 'a  b'")
+        hit = docs_session.execute("SELECT  v\nFROM docs  WHERE c = 'a  b'")
+        assert hit.plan_cache_hit
 
 
 class TestPreparedStatements:
