@@ -288,6 +288,7 @@ def run_net_throughput(
                         session.device_capacity_bytes
                     ),
                     tenant_weights=registry.weights(),
+                    slo_objectives=registry.slo_objectives(),
                 )
                 server = ServerThread(NetServer(engine, registry)).start()
                 failures: list[str] = []
@@ -331,6 +332,11 @@ def run_net_throughput(
                                 len(report.completed) / (wall_ms / 1e3)
                                 if wall_ms else 0.0,
                             "tenants": tenants,
+                            "slo": engine.slo.snapshot(),
+                            "flight_recorder": {
+                                "recorded": engine.flight_recorder.recorded,
+                                "dropped": engine.flight_recorder.dropped,
+                            },
                         },
                     )
                 )

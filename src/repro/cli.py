@@ -12,6 +12,10 @@ Usage:
     python -m repro.cli serve --paper-mix --concurrency 4  # real worker pool
     python -m repro.cli net serve --port 7341 --demo-tenants  # socket server
     python -m repro.cli net run --port 7341 --token alpha-token --paper-mix
+    python -m repro.cli net run --port 7341 --token local -q "..." \
+        --trace-dir traces/                       # distributed tracing
+    python -m repro.cli net stats --port 7341 --token local --prometheus
+    python -m repro.cli net flight-recorder --port 7341 --token local
 
 The REPL runs on one :class:`~repro.serve.EngineSession`: resident
 columns, pool high-water, subquery indexes and cached plans persist

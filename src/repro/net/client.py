@@ -86,6 +86,7 @@ class ReproNetClient:
         self._decoder = FrameDecoder(max_frame)
         self._frames: list[tuple[int, dict]] = []  # decoded, undelivered
         self._inbox: list[tuple[int, dict]] = []   # out-of-band query frames
+        self._traces: dict[int, dict] = {}         # query_id -> trace payload
         self._query_ids = itertools.count(1)
         self.fetch_size = fetch_size
         self.closed = False
@@ -184,9 +185,14 @@ class ReproNetClient:
         deadline_s: float | None = None,
         fetch_size: int | None = None,
         wait: bool = True,
+        trace: bool = False,
     ):
         """Submit a query; returns a :class:`NetResult` (or, with
         ``wait=False``, the query_id to :meth:`wait` on later).
+
+        ``trace=True`` asks the server to trace this query; the
+        returned span tree is kept per query_id — read it back with
+        :meth:`trace`.
 
         Raises:
             NetClientError: a structured ERROR frame — backpressure
@@ -208,6 +214,8 @@ class ReproNetClient:
             payload["deadline_s"] = deadline_s
         if fetch_size or self.fetch_size:
             payload["fetch_size"] = fetch_size or self.fetch_size
+        if trace:
+            payload["trace"] = True
         self.send_frame(Opcode.EXECUTE, payload)
         if not wait:
             return query_id
@@ -218,6 +226,8 @@ class ReproNetClient:
         opcode, payload = self._recv_for_query(query_id, (Opcode.RESULT,))
         if opcode == Opcode.ERROR:
             raise NetClientError(payload)
+        if "trace" in payload:
+            self._traces[query_id] = payload["trace"]
         rows = list(payload["rows"])
         more = payload.get("more", False)
         while more:
@@ -242,11 +252,41 @@ class ReproNetClient:
         )
         return bool(payload.get("cancelled"))
 
+    def trace(self, query_id: int | None = None) -> dict | None:
+        """A traced query's distributed span payload.
+
+        Without ``query_id``, the most recently received trace.  Feed
+        one or many of these to
+        :func:`repro.obs.telemetry.distributed_chrome_trace`.
+        """
+        if query_id is not None:
+            return self._traces.get(query_id)
+        if not self._traces:
+            return None
+        return self._traces[max(self._traces)]
+
+    def traces(self) -> list[dict]:
+        """Every trace payload received, in query_id order."""
+        return [self._traces[qid] for qid in sorted(self._traces)]
+
     def stats(self) -> dict:
         """The server's STATS snapshot (per-tenant accounting etc.)."""
         self.send_frame(Opcode.STATS)
         _, payload = self._recv_reply(Opcode.STATS_REPLY)
         return payload
+
+    def metrics(self) -> dict:
+        """The Prometheus exposition: ``{content_type, text}``."""
+        self.send_frame(Opcode.METRICS)
+        _, payload = self._recv_reply(Opcode.METRICS_REPLY)
+        return payload
+
+    def flight_recorder(self, limit: int | None = None) -> dict:
+        """The server's flight-recorder dump (newest-last records)."""
+        payload = {} if limit is None else {"limit": limit}
+        self.send_frame(Opcode.FLIGHT_RECORDER, payload)
+        _, reply = self._recv_reply(Opcode.FLIGHT_RECORDER_REPLY)
+        return reply
 
     # -- lifecycle -------------------------------------------------------
 

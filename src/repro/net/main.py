@@ -3,12 +3,17 @@
 Usage:
 
     python -m repro.cli net serve --scale 0.1 --concurrency 4 \
-        --policy fair --port 7341 --demo-tenants
+        --policy fair --port 7341 --demo-tenants \
+        --flight-recorder flight.json
     python -m repro.cli net run --port 7341 --token alpha-token \
         --paper-mix --scale 0.1 --verify-solo
-    python -m repro.cli net run --port 7341 --token local -q "SELECT ..."
+    python -m repro.cli net run --port 7341 --token local -q "SELECT ..." \
+        --trace-dir traces/
     python -m repro.cli net stats --port 7341 --token alpha-token \
         --out tenant-stats.json
+    python -m repro.cli net stats --port 7341 --token local --prometheus
+    python -m repro.cli net flight-recorder --port 7341 --token local \
+        --out flight.json
 
 ``serve`` owns the engine: it builds a TPC-H catalog, an
 :class:`~repro.serve.EngineSession` with a metrics registry, an
@@ -23,6 +28,10 @@ single unrestricted tenant with token ``local``.
 a per-query line each, and ``--verify-solo`` re-runs each distinct
 statement on a local fresh engine at ``--scale`` and checks the rows
 that travelled through the protocol are bit-identical.
+``--trace-dir`` requests a distributed trace for every query and
+writes the validated combined Chrome trace (plus the raw payloads)
+into the directory.  ``stats --prometheus`` scrapes the METRICS
+opcode; ``flight-recorder`` dumps the server's forensic ring.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import sys
 from ..engine import EngineOptions
 from ..errors import ReproError
 from ..gpu import DeviceSpec
+from ..obs.telemetry import SLObjective
 from ..serve.concurrent import AsyncEngine
 from ..serve.plancache import normalize_sql
 from ..serve.scheduler import paper_mix_statements
@@ -85,6 +95,17 @@ def build_net_parser() -> argparse.ArgumentParser:
                          help="JSON tenant roster")
     tenants.add_argument("--demo-tenants", action="store_true",
                          help="built-in alpha/beta tenant pair")
+    serve.add_argument("--slo-ms", type=float, default=1000.0,
+                       help="default per-tenant latency objective in ms "
+                            "(tenants may override via slo_ms; default 1000)")
+    serve.add_argument("--slo-target", type=float, default=0.99,
+                       help="fraction of queries that must meet the "
+                            "objective (default 0.99)")
+    serve.add_argument("--flight-recorder", metavar="PATH", default=None,
+                       help="dump the flight-recorder ring to PATH as JSON "
+                            "on shutdown")
+    serve.add_argument("--flight-recorder-capacity", type=int, default=1024,
+                       help="flight-recorder ring size (default 1024)")
 
     run = sub.add_parser("run", help="drive a server as one tenant")
     _add_connection_args(run)
@@ -104,6 +125,9 @@ def build_net_parser() -> argparse.ArgumentParser:
                      default="auto", help="mode for --verify-solo")
     run.add_argument("--verify-solo", action="store_true",
                      help="check rows are bit-identical to a local solo run")
+    run.add_argument("--trace-dir", metavar="DIR", default=None,
+                     help="trace every query; write the combined Chrome "
+                          "trace and raw payloads into DIR")
     run.add_argument("-v", "--verbose", action="store_true",
                      help="print a line per query")
 
@@ -111,6 +135,18 @@ def build_net_parser() -> argparse.ArgumentParser:
     _add_connection_args(stats)
     stats.add_argument("--out", metavar="PATH",
                        help="also write the stats JSON to a file")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="scrape the METRICS opcode and print the "
+                            "Prometheus text exposition instead")
+
+    flight = sub.add_parser(
+        "flight-recorder", help="dump the server's flight-recorder ring",
+    )
+    _add_connection_args(flight)
+    flight.add_argument("--limit", type=int, default=None,
+                        help="only the newest N records")
+    flight.add_argument("--out", metavar="PATH",
+                        help="also write the dump JSON to a file")
     return parser
 
 
@@ -139,6 +175,11 @@ def _serve(args) -> int:
         generate_tpch(args.scale), device=device, options=EngineOptions(),
         mode=args.mode, metrics=MetricsRegistry(),
     )
+    try:
+        slo_default = SLObjective(args.slo_ms, args.slo_target)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     engine = AsyncEngine(
         session,
         workers=args.concurrency,
@@ -146,6 +187,9 @@ def _serve(args) -> int:
         policy=args.policy,
         tenant_budgets=registry.budgets(session.device_capacity_bytes),
         tenant_weights=registry.weights(),
+        slo_objectives=registry.slo_objectives(),
+        slo_default=slo_default,
+        flight_recorder_capacity=args.flight_recorder_capacity,
     )
     server = NetServer(engine, registry, host=args.host, port=args.port)
 
@@ -171,8 +215,22 @@ def _serve(args) -> int:
     finally:
         engine.shutdown(drain=False, timeout=10.0)
         tenants = engine.tenant_stats()
+        if args.flight_recorder:
+            engine.flight_recorder.write_json(args.flight_recorder)
+            print(
+                f"flight recorder: {len(engine.flight_recorder)} records "
+                f"({engine.flight_recorder.dropped} dropped) "
+                f"-> {args.flight_recorder}",
+                flush=True,
+            )
         session.close()
-    print(json.dumps({"tenants": tenants}, indent=2))
+    print(json.dumps({
+        "tenants": tenants,
+        "flight_recorder": {
+            "recorded": engine.flight_recorder.recorded,
+            "dropped": engine.flight_recorder.dropped,
+        },
+    }, indent=2))
     return 0
 
 
@@ -219,7 +277,10 @@ def _run(args) -> int:
     with client:
         for seq, sql in enumerate(statements):
             try:
-                result = client.execute(sql, deadline_s=args.deadline)
+                result = client.execute(
+                    sql, deadline_s=args.deadline,
+                    trace=bool(args.trace_dir),
+                )
             except NetClientError as exc:
                 results.append(None)
                 failures += 1
@@ -239,6 +300,11 @@ def _run(args) -> int:
             f"tenant {client.tenant}: {len(done)}/{len(statements)} queries, "
             f"{total_rows} rows ({client.policy} policy)"
         )
+        traces = client.traces() if args.trace_dir else []
+    if args.trace_dir:
+        status = _write_traces(args.trace_dir, client.tenant, traces)
+        if status:
+            return status
     if args.verify_solo:
         mismatches = _verify_solo(statements, results, args)
         if mismatches:
@@ -250,14 +316,62 @@ def _run(args) -> int:
     return 1 if failures else 0
 
 
+def _write_traces(trace_dir, tenant, traces) -> int:
+    """Validate + write the distributed trace (0 on success)."""
+    import os
+
+    from ..obs.export import write_trace_document
+    from ..obs.telemetry import distributed_chrome_trace, validate_chrome_trace
+
+    os.makedirs(trace_dir, exist_ok=True)
+    if not traces:
+        print("no traces returned (all queries failed?)", file=sys.stderr)
+        return 1
+    payload_path = os.path.join(trace_dir, f"{tenant}-trace-payloads.json")
+    with open(payload_path, "w") as handle:
+        json.dump(traces, handle, indent=2)
+    document = distributed_chrome_trace(traces)
+    try:
+        events = validate_chrome_trace(document)
+    except ValueError as exc:
+        print(f"distributed trace INVALID: {exc}", file=sys.stderr)
+        return 1
+    trace_path = os.path.join(trace_dir, f"{tenant}-distributed-trace.json")
+    write_trace_document(trace_path, document)
+    print(
+        f"distributed trace: {len(traces)} queries, {events} events "
+        f"-> {trace_path}"
+    )
+    return 0
+
+
 def _stats(args) -> int:
     try:
         with ReproNetClient(args.host, args.port, token=args.token) as client:
-            stats = client.stats()
+            if args.prometheus:
+                payload = client.metrics()
+                text = payload.get("text", "")
+            else:
+                stats = client.stats()
+                text = json.dumps(stats, indent=2, sort_keys=True)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    text = json.dumps(stats, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
+def _flight(args) -> int:
+    try:
+        with ReproNetClient(args.host, args.port, token=args.token) as client:
+            dump = client.flight_recorder(limit=args.limit)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(dump, indent=2)
     print(text)
     if args.out:
         with open(args.out, "w") as handle:
@@ -271,4 +385,6 @@ def net_main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.command == "run":
         return _run(args)
+    if args.command == "flight-recorder":
+        return _flight(args)
     return _stats(args)

@@ -23,8 +23,20 @@ The conversation::
                                <-   CANCELLED {query_id, cancelled}
     STATS {}                   ->
                                <-   STATS_REPLY {tenants, engine, ...}
+    METRICS {}                 ->
+                               <-   METRICS_REPLY {content_type, text}
+    FLIGHT_RECORDER {limit?}   ->
+                               <-   FLIGHT_RECORDER_REPLY {capacity,
+                                            recorded, dropped, records}
     CLOSE {}                   ->
                                <-   BYE {}
+
+An EXECUTE may set ``"trace": true``; its RESULT then carries a
+``trace`` object — the query's distributed span tree (wall-clock
+worker phases + modelled engine spans, correlated by query_id /
+tenant / worker / stream) ready for
+:func:`repro.obs.telemetry.distributed_chrome_trace`.  ERROR frames
+that belong to a query carry its ``flight_record``.
 
 ``query_id`` is chosen by the client (unique per connection), so
 CANCEL can race EXECUTE without a round trip.  RESULT and ERROR
@@ -79,6 +91,10 @@ class Opcode(IntEnum):
     STATS = 13
     STATS_REPLY = 14
     ERROR = 15
+    METRICS = 16
+    METRICS_REPLY = 17
+    FLIGHT_RECORDER = 18
+    FLIGHT_RECORDER_REPLY = 19
 
 
 class ErrorCode:
@@ -230,10 +246,13 @@ def error_payload(
     message: str,
     query_id: int | None = None,
     retry_after_s: float | None = None,
+    flight_record: dict | None = None,
 ) -> dict:
     payload = {"code": code, "message": message}
     if query_id is not None:
         payload["query_id"] = query_id
     if retry_after_s is not None:
         payload["retry_after_s"] = retry_after_s
+    if flight_record is not None:
+        payload["flight_record"] = flight_record
     return payload

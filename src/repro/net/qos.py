@@ -28,6 +28,7 @@ class TenantSpec:
     __slots__ = (
         "name", "token", "priority", "weight",
         "quota_bytes", "quota_fraction", "max_in_flight",
+        "slo_ms", "slo_target",
     )
 
     def __init__(
@@ -39,6 +40,8 @@ class TenantSpec:
         quota_bytes: int | None = None,
         quota_fraction: float | None = None,
         max_in_flight: int | None = None,
+        slo_ms: float | None = None,
+        slo_target: float = 0.99,
     ):
         if not name:
             raise TenantConfigError("tenant name must be non-empty")
@@ -54,6 +57,14 @@ class TenantSpec:
             raise TenantConfigError(
                 f"tenant {name!r}: quota_fraction must be in (0, 1]"
             )
+        if slo_ms is not None and slo_ms <= 0:
+            raise TenantConfigError(
+                f"tenant {name!r}: slo_ms must be positive"
+            )
+        if not 0 < slo_target < 1:
+            raise TenantConfigError(
+                f"tenant {name!r}: slo_target must be in (0, 1)"
+            )
         self.name = name
         self.token = token
         self.priority = int(priority)
@@ -61,6 +72,8 @@ class TenantSpec:
         self.quota_bytes = quota_bytes
         self.quota_fraction = quota_fraction
         self.max_in_flight = max_in_flight
+        self.slo_ms = slo_ms
+        self.slo_target = float(slo_target)
 
     def budget(self, capacity_bytes: int) -> TenantBudget:
         """The admission budget against a concrete device capacity."""
@@ -79,6 +92,8 @@ class TenantSpec:
             "quota_bytes": self.quota_bytes,
             "quota_fraction": self.quota_fraction,
             "max_in_flight": self.max_in_flight,
+            "slo_ms": self.slo_ms,
+            "slo_target": self.slo_target,
         }
 
 
@@ -118,6 +133,20 @@ class TenantRegistry:
     def weights(self) -> dict[str, float]:
         return {spec.name: spec.weight for spec in self}
 
+    def slo_objectives(self):
+        """Per-tenant latency objectives for tenants that declare one.
+
+        Returns ``{name: SLObjective}`` (tenants without ``slo_ms``
+        fall through to the engine's default objective).
+        """
+        from ..obs.telemetry import SLObjective
+
+        return {
+            spec.name: SLObjective(spec.slo_ms, spec.slo_target)
+            for spec in self
+            if spec.slo_ms is not None
+        }
+
     @classmethod
     def from_config(cls, config) -> "TenantRegistry":
         """A registry from parsed JSON: a list of tenant objects."""
@@ -134,6 +163,7 @@ class TenantRegistry:
             unknown = set(entry) - {
                 "name", "token", "priority", "weight",
                 "quota_bytes", "quota_fraction", "max_in_flight",
+                "slo_ms", "slo_target",
             }
             if unknown:
                 raise TenantConfigError(
@@ -164,10 +194,12 @@ def demo_registry() -> TenantRegistry:
         TenantSpec(
             "alpha", token="alpha-token", priority=10, weight=3.0,
             quota_fraction=0.8, max_in_flight=8,
+            slo_ms=250.0, slo_target=0.95,
         ),
         TenantSpec(
             "beta", token="beta-token", priority=0, weight=1.0,
             quota_fraction=0.5, max_in_flight=4,
+            slo_ms=1000.0, slo_target=0.9,
         ),
     ])
 

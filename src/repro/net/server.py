@@ -2,8 +2,8 @@
 
 One :class:`NetServer` owns a listening socket and a shared
 :class:`~repro.serve.AsyncEngine`.  Each connection authenticates with
-HELLO, then issues PREPARE / EXECUTE / FETCH / CANCEL / STATS / CLOSE
-frames.  EXECUTE is asynchronous on the wire: the handler submits the
+HELLO, then issues PREPARE / EXECUTE / FETCH / CANCEL / STATS /
+METRICS / FLIGHT_RECORDER / CLOSE frames.  EXECUTE is asynchronous on the wire: the handler submits the
 query to the engine (a quick, lock-bounded call), spawns a task that
 awaits the ticket **off the event loop** (``run_in_executor`` over
 ``QueryTicket.wait``), and keeps reading — so CANCEL and STATS work
@@ -37,6 +37,7 @@ import asyncio
 import threading
 
 from ..errors import ReproError
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE
 from ..serve.concurrent import AsyncEngine, BackpressureError
 from ..serve.session import SessionPrepared
 from .protocol import (
@@ -61,6 +62,7 @@ class _Connection:
     def __init__(self, reader, writer):
         self.reader = reader
         self.writer = writer
+        self.conn_id = 0  # assigned by the server (trace lane id)
         self.spec = None  # TenantSpec once HELLO succeeds
         self.statements: dict[int, SessionPrepared] = {}
         self.next_stmt_id = 1
@@ -83,10 +85,12 @@ class _Connection:
 
     async def send_error(self, code: str, message: str,
                          query_id: int | None = None,
-                         retry_after_s: float | None = None) -> None:
+                         retry_after_s: float | None = None,
+                         flight_record: dict | None = None) -> None:
         await self.send(
             Opcode.ERROR,
-            error_payload(code, message, query_id, retry_after_s),
+            error_payload(code, message, query_id, retry_after_s,
+                          flight_record),
         )
 
 
@@ -169,6 +173,7 @@ class NetServer:
         conn = _Connection(reader, writer)
         self._connections.add(conn)
         self.connections_served += 1
+        conn.conn_id = self.connections_served
         try:
             if not await self._hello(conn):
                 return
@@ -332,6 +337,7 @@ class NetServer:
                 priority=conn.spec.priority,
                 deadline_s=payload.get("deadline_s"),
                 tenant=conn.spec.name,
+                trace=bool(payload.get("trace")),
             )
         except BackpressureError as exc:
             await conn.send_error(
@@ -363,7 +369,7 @@ class NetServer:
             first, rest = rows[:fetch_size], rows[fetch_size:]
             if rest:
                 conn.cursors[query_id] = rest
-            await conn.send(Opcode.RESULT, {
+            reply = {
                 "query_id": query_id,
                 "columns": list(result.column_names),
                 "rows": first,
@@ -377,7 +383,14 @@ class NetServer:
                     "wall_run_ms": ticket.wall_run_s * 1e3,
                     "stream": ticket.stream,
                 },
-            })
+            }
+            if ticket.trace_payload is not None:
+                reply["trace"] = {
+                    **ticket.trace_payload,
+                    "query_id": query_id,
+                    "connection": conn.conn_id,
+                }
+            await conn.send(Opcode.RESULT, reply)
             return
         detail = ticket.detail or ticket.status
         if ticket.status == "rejected":
@@ -389,7 +402,9 @@ class NetServer:
             )
         else:
             code = ErrorCode.QUERY_ERROR
-        await conn.send_error(code, detail, query_id)
+        await conn.send_error(
+            code, detail, query_id, flight_record=ticket.flight_record,
+        )
 
     async def _on_fetch(self, conn: _Connection, payload: dict) -> None:
         query_id = payload.get("query_id")
@@ -464,12 +479,35 @@ class NetServer:
             stats["metrics"] = metrics.dump_prefix("qos.")
         await conn.send(Opcode.STATS_REPLY, stats)
 
+    async def _on_metrics(self, conn: _Connection, payload: dict) -> None:
+        """Prometheus text exposition over the wire (a pull scrape)."""
+        metrics = self.engine.session.metrics
+        text = "" if metrics is None else metrics.render_prometheus()
+        await conn.send(Opcode.METRICS_REPLY, {
+            "content_type": PROMETHEUS_CONTENT_TYPE,
+            "text": text,
+        })
+
+    async def _on_flight(self, conn: _Connection, payload: dict) -> None:
+        limit = payload.get("limit")
+        if limit is not None and not isinstance(limit, int):
+            await conn.send_error(
+                ErrorCode.BAD_REQUEST, "limit must be an integer",
+            )
+            return
+        await conn.send(
+            Opcode.FLIGHT_RECORDER_REPLY,
+            self.engine.flight_recorder.to_dict(limit),
+        )
+
     _HANDLERS = {
         Opcode.PREPARE: _on_prepare,
         Opcode.EXECUTE: _on_execute,
         Opcode.FETCH: _on_fetch,
         Opcode.CANCEL: _on_cancel,
         Opcode.STATS: _on_stats,
+        Opcode.METRICS: _on_metrics,
+        Opcode.FLIGHT_RECORDER: _on_flight,
     }
 
 

@@ -79,6 +79,11 @@ def to_chrome_trace(tracer: Tracer) -> dict:
 
 
 def write_chrome_trace(path, tracer: Tracer) -> None:
+    write_trace_document(path, to_chrome_trace(tracer))
+
+
+def write_trace_document(path, document: dict) -> None:
+    """Write any Chrome-trace-shaped document (local or distributed)."""
     with open(path, "w") as handle:
-        json.dump(to_chrome_trace(tracer), handle)
+        json.dump(document, handle)
         handle.write("\n")

@@ -302,3 +302,13 @@ class Tracer(NullTracer):
         with self._lock:
             while self._stack:
                 self.end()
+
+    def export_roots(self) -> tuple[list[Span], int]:
+        """A consistent ``(roots, dropped)`` snapshot for serialization.
+
+        The list is a copy taken under the lock, so an exporter on one
+        thread never sees a root appear mid-iteration; the spans
+        themselves are shared (exporters run after ``finish``).
+        """
+        with self._lock:
+            return list(self.roots), self.dropped

@@ -64,6 +64,13 @@ import time
 from ..core import QueryResult
 from ..core.executor import PreparedQuery
 from ..errors import ReproError
+from ..obs.telemetry import (
+    FlightRecorder,
+    SLObjective,
+    SLOTracker,
+    build_trace_payload,
+)
+from ..obs.tracer import Tracer
 from .scheduler import (
     AdmissionError,
     QueryScheduler,
@@ -504,15 +511,17 @@ class QueryTicket:
 
     def __init__(self, seq: int, sql: str, mode: str | None,
                  priority: int, deadline: float | None,
-                 tenant: str | None = None):
+                 tenant: str | None = None, trace: bool = False):
         self.seq = seq
         self.sql = sql
         self.mode = mode
         self.priority = priority
         self.deadline = deadline  # absolute time.monotonic() or None
         self.tenant = tenant
+        self.trace = trace
         self.status = "queued"
         self.detail = ""
+        self.outcome = ""         # terminal SLO class, set by _finish
         self.result: QueryResult | None = None
         self.plan_cache_hit = False
         self.working_set_bytes = 0
@@ -522,8 +531,12 @@ class QueryTicket:
         self.duration_ns = 0.0
         self.queue_wait_ns = 0.0
         self.wall_submit_s = time.perf_counter()
+        self.wall_dequeue_s: float | None = None
+        self.wall_admitted_s: float | None = None
         self.wall_start_s: float | None = None
         self.wall_end_s: float | None = None
+        self.trace_payload: dict | None = None
+        self.flight_record: dict | None = None
         self._event = threading.Event()
         self._cancel = False
         self._engine: "AsyncEngine | None" = None
@@ -605,6 +618,9 @@ class AsyncEngine:
         policy: str = "priority",
         tenant_budgets: dict[str, TenantBudget] | None = None,
         tenant_weights: dict[str, float] | None = None,
+        slo_objectives: dict[str, SLObjective] | None = None,
+        slo_default: SLObjective | None = None,
+        flight_recorder_capacity: int = 1024,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -618,6 +634,10 @@ class AsyncEngine:
         self.workers = workers
         self.queue_capacity = queue_capacity
         self.policy = policy
+        self.slo = SLOTracker(
+            slo_objectives, default=slo_default, metrics=session.metrics,
+        )
+        self.flight_recorder = FlightRecorder(flight_recorder_capacity)
         self._policy = (
             FairSharePolicy(tenant_weights) if policy == "fair"
             else PriorityFifoPolicy()
@@ -723,8 +743,13 @@ class AsyncEngine:
         priority: int = 0,
         deadline_s: float | None = None,
         tenant: str | None = None,
+        trace: bool = False,
     ) -> QueryTicket:
         """Enqueue a statement; returns its ticket.
+
+        ``trace=True`` gives this one query a private tracer for the
+        device run and attaches the resulting span tree (wall phases +
+        modelled engine spans) to ``ticket.trace_payload``.
 
         Raises:
             BackpressureError: the bounded queue is full; the error
@@ -734,24 +759,30 @@ class AsyncEngine:
         deadline = (
             None if deadline_s is None else time.monotonic() + deadline_s
         )
-        with self._work:
-            if not self._accepting:
-                raise RuntimeError("engine is shut down")
-            if len(self._pending) >= self.queue_capacity:
-                raise BackpressureError(
-                    len(self._pending), self._retry_after_locked()
+        try:
+            with self._work:
+                if not self._accepting:
+                    raise RuntimeError("engine is shut down")
+                if len(self._pending) >= self.queue_capacity:
+                    raise BackpressureError(
+                        len(self._pending), self._retry_after_locked()
+                    )
+                ticket = QueryTicket(
+                    self._seq, sql, mode, priority, deadline, tenant, trace,
                 )
-            ticket = QueryTicket(
-                self._seq, sql, mode, priority, deadline, tenant,
-            )
-            ticket._engine = self
-            self._seq += 1
-            self._pending.append(ticket)
-            self._tickets.append(ticket)
-            self._outstanding += 1
-            self._account_locked(tenant).submitted += 1
-            self._work.notify()
-            return ticket
+                ticket._engine = self
+                self._seq += 1
+                self._pending.append(ticket)
+                self._tickets.append(ticket)
+                self._outstanding += 1
+                self._account_locked(tenant).submitted += 1
+                self._work.notify()
+                return ticket
+        except BackpressureError:
+            # backpressure burns the tenant's error budget too — the
+            # tracker's lock sits below the queue lock, so note it here
+            self.slo.note_backpressure(tenant or "default")
+            raise
 
     def submit_all(self, statements) -> list[QueryTicket]:
         return [self.submit(sql) for sql in statements]
@@ -807,6 +838,7 @@ class AsyncEngine:
         ``qos.tenant.<name>.starvation_age_s`` gauge.
         """
         now = time.perf_counter()
+        ticket.wall_dequeue_s = now
         wait_s = now - ticket.wall_submit_s
         account = self._account_locked(ticket.tenant)
         if wait_s > account.max_starvation_s:
@@ -866,6 +898,7 @@ class AsyncEngine:
         except QueryCancelled as exc:
             self._finish(ticket, "cancelled", detail=str(exc))
             return
+        ticket.wall_admitted_s = time.perf_counter()
         try:
             self._execute(ticket, prepared, hit, worker_id)
         finally:
@@ -895,42 +928,78 @@ class AsyncEngine:
             )
             return
         ticket.wall_start_s = time.perf_counter()
-        with session.lock:
-            # modelled placement, exactly the PR 4 list-scheduling rule:
-            # this stream's clock, pushed past modelled completions while
-            # the in-flight working sets would overflow HBM
-            start = QueryScheduler._admit(
-                self._free_at[worker_id],
-                ticket.working_set_bytes,
-                session.device_capacity_bytes,
-                self._model_in_flight,
+        span_attrs = {
+            "worker": worker_id, "stream": worker_id, "seq": ticket.seq,
+        }
+        # a traced query gets a *private* tracer: the shared session
+        # tracer's span stack cannot be used across worker threads, and
+        # the payload must hold exactly this query's spans
+        query_tracer = None
+        query_span = None
+        if ticket.trace:
+            query_tracer = Tracer()
+            query_span = query_tracer.begin(
+                "query", "query",
+                seq=ticket.seq, tenant=ticket.tenant or "default",
+                worker=worker_id, stream=worker_id,
             )
-            result = session.run(
-                prepared,
-                plan_cache_hit=plan_cache_hit,
-                span_attrs={
-                    "worker": worker_id, "stream": worker_id,
-                    "seq": ticket.seq,
-                },
-            )
-            ticket.start_ns = start
-            ticket.duration_ns = result.stats.total_ns
-            ticket.queue_wait_ns = start
-            self._free_at[worker_id] = start + result.stats.total_ns
-            self._model_in_flight.append(
-                (start + result.stats.total_ns, ticket.working_set_bytes)
-            )
-            self.bus_ns += result.stats.transfer_time_ns
-        ticket.wall_end_s = time.perf_counter()
+        try:
+            with session.lock:
+                # modelled placement, exactly the PR 4 list-scheduling rule:
+                # this stream's clock, pushed past modelled completions while
+                # the in-flight working sets would overflow HBM
+                start = QueryScheduler._admit(
+                    self._free_at[worker_id],
+                    ticket.working_set_bytes,
+                    session.device_capacity_bytes,
+                    self._model_in_flight,
+                )
+                result = session.run(
+                    prepared,
+                    plan_cache_hit=plan_cache_hit,
+                    span_attrs=span_attrs,
+                    tracer=query_tracer,
+                )
+                ticket.start_ns = start
+                ticket.duration_ns = result.stats.total_ns
+                ticket.queue_wait_ns = start
+                self._free_at[worker_id] = start + result.stats.total_ns
+                self._model_in_flight.append(
+                    (start + result.stats.total_ns, ticket.working_set_bytes)
+                )
+                self.bus_ns += result.stats.transfer_time_ns
+            ticket.wall_end_s = time.perf_counter()
+        finally:
+            if query_tracer is not None:
+                if query_span is not None:
+                    query_tracer.end(
+                        query_span, plan_cache="hit" if plan_cache_hit
+                        else "miss",
+                    )
+                query_tracer.finish()
+                ticket.trace_payload = build_trace_payload(
+                    ticket, query_tracer
+                )
         ticket.result = result
         ticket.plan_cache_hit = plan_cache_hit
         self._finish(ticket, "done")
+
+    @staticmethod
+    def _classify_outcome(status: str, detail: str) -> str:
+        if status == "done":
+            return "ok"
+        if status == "cancelled" and "deadline" in detail.lower():
+            return "deadline"
+        return status  # 'rejected' | 'cancelled' | 'error'
 
     def _finish(self, ticket: QueryTicket, status: str, detail: str = "") -> None:
         with self._work:
             ticket.status = status
             if detail:
                 ticket.detail = detail
+            ticket.outcome = self._classify_outcome(status, detail)
+            if ticket.trace_payload is not None:
+                ticket.trace_payload["query"]["status"] = status
             if ticket.wall_end_s is None:
                 ticket.wall_end_s = time.perf_counter()
                 if ticket.wall_start_s is None:
@@ -954,6 +1023,24 @@ class AsyncEngine:
             elif status == "error":
                 account.errors += 1
             self._outstanding -= 1
+            latency_ms = (ticket.wall_end_s - ticket.wall_submit_s) * 1e3
+        # SLO scoring and the flight record run outside the queue lock
+        # (both own locks lower in the hierarchy); the ticket's terminal
+        # fields are frozen, so there is no race to guard
+        result = ticket.result
+        query_class = (
+            result.plan_choice if result is not None
+            else (ticket.mode or "unknown")
+        )
+        self.slo.observe(
+            ticket.tenant or "default", latency_ms,
+            outcome=ticket.outcome, query_class=query_class,
+        )
+        ticket.flight_record = self._flight_record(
+            ticket, latency_ms, query_class
+        )
+        self.flight_recorder.record(**ticket.flight_record)
+        with self._work:
             ticket._event.set()
             self._work.notify_all()
         metrics = self.session.metrics
@@ -984,6 +1071,61 @@ class AsyncEngine:
                     )
                 else:
                     metrics.counter(f"{prefix}.{status}").inc()
+
+    def _flight_record(
+        self, ticket: QueryTicket, latency_ms: float, query_class: str,
+    ) -> dict:
+        """One bounded forensic record for a terminal ticket."""
+        record = {
+            "seq": ticket.seq,
+            "sql": ticket.sql if len(ticket.sql) <= 200
+            else ticket.sql[:197] + "...",
+            "tenant": ticket.tenant or "default",
+            "mode": ticket.mode,
+            "status": ticket.status,
+            "outcome": ticket.outcome,
+            "detail": ticket.detail,
+            "priority": ticket.priority,
+            "plan_cache_hit": ticket.plan_cache_hit,
+            "working_set_bytes": ticket.working_set_bytes,
+            "worker": ticket.worker,
+            "stream": ticket.stream,
+            "latency_ms": latency_ms,
+            "queue_wait_ms": (
+                (ticket.wall_dequeue_s - ticket.wall_submit_s) * 1e3
+                if ticket.wall_dequeue_s is not None else None
+            ),
+            "admission_wait_ms": (
+                (ticket.wall_admitted_s - ticket.wall_dequeue_s) * 1e3
+                if ticket.wall_admitted_s is not None
+                and ticket.wall_dequeue_s is not None else None
+            ),
+            "wall_run_ms": ticket.wall_run_s * 1e3,
+        }
+        result = ticket.result
+        if result is not None:
+            record.update(
+                plan_mode=query_class,
+                adaptive_switch=result.adaptive_switch,
+                rows=result.num_rows,
+                modelled_total_ms=result.stats.total_ns / 1e6,
+            )
+        if ticket.trace_payload is not None:
+            roots = ticket.trace_payload.get("modelled", [])
+            record["last_span_summary"] = [
+                {
+                    "name": node["name"],
+                    "category": node["category"],
+                    "duration_ms": (
+                        (node.get("end_ns") or node["start_ns"])
+                        - node["start_ns"]
+                    ) / 1e6,
+                    "children": len(node.get("children", ())),
+                }
+                for root in roots[-1:]
+                for node in (root.get("children") or [root])
+            ]
+        return record
 
     # -- reporting -------------------------------------------------------
 
@@ -1024,7 +1166,7 @@ class AsyncEngine:
         return report
 
     def tenant_stats(self) -> dict[str, dict]:
-        """Per-tenant accounting merged with live admission usage."""
+        """Per-tenant accounting, admission usage, and SLO state."""
         with self._work:
             accounts = {
                 account.name: account.to_dict()
@@ -1034,6 +1176,9 @@ class AsyncEngine:
         for name, budget in usage.items():
             accounts.setdefault(name, TenantAccount(name).to_dict())
             accounts[name]["budget"] = budget
+        for name, slo in self.slo.snapshot().items():
+            accounts.setdefault(name, TenantAccount(name).to_dict())
+            accounts[name]["slo"] = slo
         return dict(sorted(accounts.items()))
 
     @property

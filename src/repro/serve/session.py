@@ -295,6 +295,7 @@ class EngineSession:
         prepared: PreparedQuery,
         plan_cache_hit: bool = False,
         span_attrs: dict | None = None,
+        tracer=None,
     ) -> QueryResult:
         """Execute a prepared query on the session's standing state.
 
@@ -306,11 +307,22 @@ class EngineSession:
 
         ``span_attrs`` is attached to the execute-phase span when
         tracing — the concurrent engine tags worker/stream ids here.
+
+        ``tracer`` overrides the session tracer for this one query:
+        the device emits its kernel/transfer leaves into the private
+        tracer for the duration of the run and is re-bound to the
+        session tracer afterwards.  This is how a traced query on an
+        otherwise untraced serving session gets its own span tree
+        without perturbing any neighbour (the swap happens under the
+        session lock, which already serializes device access).
         """
         with self.lock:
             if self._closed:
                 raise RuntimeError("session is closed")
             self._check_catalog()
+            query_tracer = self.tracer if tracer is None else tracer
+            previous_tracer = self.device.tracer
+            self.device.tracer = query_tracer
             self.device.reset(rebase_peak=True)
             ctx = ExecutionContext(
                 self.catalog,
@@ -323,7 +335,7 @@ class EngineSession:
             )
             try:
                 result = self.engine.run_prepared(
-                    prepared, tracer=self.tracer, metrics=self.metrics,
+                    prepared, tracer=query_tracer, metrics=self.metrics,
                     ctx=ctx, span_attrs=span_attrs,
                 )
             finally:
@@ -331,6 +343,9 @@ class EngineSession:
                 # any modelled cost of this cleanup lands after the result's
                 # snapshot and is wiped by the next query's clock reset
                 ctx.end_query()
+                self.device.tracer = previous_tracer
+                if previous_tracer.enabled and tracer is not None:
+                    previous_tracer.bind_device(self.device)
             result.plan_cache_hit = plan_cache_hit
             self.queries_run += 1
             if self.metrics is not None:

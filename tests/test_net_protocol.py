@@ -59,7 +59,21 @@ CONFORMANCE = [
     (Opcode.STATS_REPLY, {"server": {"connections": 1},
                           "tenants": {"alpha": {"queries": 3}}}),
     (Opcode.ERROR, error_payload("backpressure", "queue full",
-                                 query_id=7, retry_after_s=0.05)),
+                                 query_id=7, retry_after_s=0.05,
+                                 flight_record={"seq": 7, "outcome": "error",
+                                                "tenant": "alpha"})),
+    (Opcode.METRICS, {}),
+    (Opcode.METRICS_REPLY, {
+        "content_type": "text/plain; version=0.0.4; charset=utf-8",
+        "text": "# TYPE repro_session_queries counter\n"
+                "repro_session_queries_total 3\n"}),
+    (Opcode.FLIGHT_RECORDER, {"limit": 100}),
+    (Opcode.FLIGHT_RECORDER_REPLY, {
+        "capacity": 1024, "recorded": 2, "dropped": 0,
+        "records": [{"seq": 0, "tenant": "alpha", "outcome": "ok",
+                     "latency_ms": 12.5},
+                    {"seq": 1, "tenant": "beta", "outcome": "deadline",
+                     "latency_ms": 55.0}]}),
 ]
 
 

@@ -1,0 +1,324 @@
+"""End-to-end serving telemetry over real sockets.
+
+The PR's acceptance criteria, as tests:
+
+* an EXECUTE with ``trace`` set returns a correlated span tree —
+  wall-clock worker phases stitched to the modelled-clock engine spans
+  by query_id/tenant/worker/stream — that exports to one valid Chrome
+  trace with a lane per connection and a lane per query;
+* tracing changes nothing it measures: with tracing off the modelled
+  totals of all 8 paper evaluation queries are bit-identical to a
+  traced run on the same engine;
+* the METRICS opcode serves Prometheus 0.0.4 text that the in-tree
+  parser accepts, with tenant names folded into labels;
+* STATS reports per-tenant p50/p95/p99 latency, deadline misses and
+  error-budget burn under a two-tenant workload;
+* the flight recorder captures every terminal outcome — ok, error,
+  cancelled, deadline — rides ERROR frames, and stays bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.net import (
+    NetClientError,
+    NetServer,
+    ReproNetClient,
+    ServerThread,
+    demo_registry,
+)
+from repro.net.protocol import ErrorCode
+from repro.obs.metrics import MetricsRegistry, PROMETHEUS_CONTENT_TYPE
+from repro.obs.telemetry import (
+    distributed_chrome_trace,
+    parse_prometheus_text,
+    validate_chrome_trace,
+)
+from repro.serve import AsyncEngine, EngineSession
+from repro.tpch import ALL_EVALUATION_QUERIES, generate_tpch
+
+SCALE = 0.02
+SQL = "SELECT o_orderkey FROM orders WHERE o_totalprice > 1000"
+SETTLE_TIMEOUT = 30.0
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_tpch(SCALE)
+
+
+class Harness:
+    """Session + engine + ServerThread with optional slow execution."""
+
+    def __init__(self, catalog, run_delay_s=0.0, **engine_kwargs):
+        self.session = EngineSession(catalog, metrics=MetricsRegistry())
+        if run_delay_s:
+            original = self.session.run
+
+            def slow_run(*args, **kwargs):
+                time.sleep(run_delay_s)
+                return original(*args, **kwargs)
+
+            self.session.run = slow_run
+        registry = demo_registry()
+        engine_kwargs.setdefault(
+            "tenant_budgets",
+            registry.budgets(self.session.device_capacity_bytes),
+        )
+        engine_kwargs.setdefault("tenant_weights", registry.weights())
+        engine_kwargs.setdefault(
+            "slo_objectives", registry.slo_objectives(),
+        )
+        self.engine = AsyncEngine(self.session, **engine_kwargs)
+        self.server = ServerThread(NetServer(self.engine, registry)).start()
+
+    def client(self, token="alpha-token", **kwargs) -> ReproNetClient:
+        return ReproNetClient(
+            self.server.host, self.server.port, token=token, **kwargs,
+        )
+
+    def settle(self, timeout=SETTLE_TIMEOUT) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            terminal = all(
+                q.status not in ("queued", "waiting", "running")
+                for q in self.engine.report().queries
+            )
+            if (terminal and self.engine.admission.in_use == 0
+                    and self.engine.admission.waiting == 0):
+                return
+            time.sleep(0.02)
+        raise AssertionError("engine did not settle")
+
+    def close(self):
+        self.engine.shutdown(drain=False, timeout=10.0)
+        self.server.stop()
+        self.session.close()
+
+
+@pytest.fixture
+def fast(catalog):
+    harness = Harness(catalog, workers=2)
+    yield harness
+    harness.close()
+
+
+@pytest.fixture
+def slow(catalog):
+    harness = Harness(catalog, run_delay_s=0.3, workers=1)
+    yield harness
+    harness.close()
+
+
+class TestTracePropagation:
+    def test_traced_query_returns_correlated_span_tree(self, fast):
+        with fast.client() as client:
+            result = client.execute(SQL, trace=True)
+            assert result.num_rows > 0
+            payload = client.trace()
+        assert payload is not None
+        # correlation identity, stamped by engine and server
+        query = payload["query"]
+        assert payload["query_id"] == 1
+        assert isinstance(payload["connection"], int)
+        assert query["tenant"] == "alpha"
+        assert query["status"] == "done"
+        assert query["worker"] in (0, 1)
+        assert isinstance(query["seq"], int)
+        # wall-clock worker phases, in lifecycle order
+        assert [p["name"] for p in payload["wall"]] == [
+            "queued", "plan+admission", "execute",
+        ]
+        assert all(p["dur_s"] >= 0 for p in payload["wall"])
+        # the modelled engine span tree underneath
+        roots = payload["modelled"]
+        assert roots and roots[0]["name"] == "query"
+        assert roots[0]["children"], "query span should have phase children"
+        json.dumps(payload)  # the whole thing crossed the wire as JSON
+
+        doc = distributed_chrome_trace([payload])
+        events = validate_chrome_trace(doc)
+        assert events == len(doc["traceEvents"]) > 0
+        assert {e["pid"] for e in doc["traceEvents"]} == {1, 2}
+
+    def test_untraced_query_carries_no_trace(self, fast):
+        with fast.client() as client:
+            client.execute(SQL)
+            assert client.trace() is None
+            assert client.traces() == []
+
+    def test_traces_collect_per_query_id(self, fast):
+        with fast.client() as client:
+            qid_a = client.execute(SQL, trace=True, wait=False)
+            qid_b = client.execute(SQL, trace=True, wait=False)
+            client.wait(qid_a)
+            client.wait(qid_b)
+            payloads = client.traces()
+        assert [p["query_id"] for p in payloads] == [qid_a, qid_b]
+        seqs = {p["query"]["seq"] for p in payloads}
+        assert len(seqs) == 2
+
+    def test_two_connections_get_separate_wall_lanes(self, fast):
+        payloads = []
+        for token in ("alpha-token", "beta-token"):
+            with fast.client(token=token) as client:
+                client.execute(SQL, trace=True)
+                payloads.append(client.trace())
+        assert {p["query"]["tenant"] for p in payloads} == {"alpha", "beta"}
+        doc = distributed_chrome_trace(payloads)
+        validate_chrome_trace(doc)
+        wall_lanes = {
+            e["tid"] for e in doc["traceEvents"]
+            if e["pid"] == 1 and e["ph"] == "X"
+        }
+        assert len(wall_lanes) == 2  # one lane per connection
+        tenants = {
+            e["args"]["tenant"] for e in doc["traceEvents"]
+            if e["ph"] in ("X", "B")
+        }
+        assert tenants == {"alpha", "beta"}
+
+    def test_tracing_preserves_modelled_totals(self, catalog):
+        """The bit-identity guarantee: tracing is pure observation.
+
+        Consecutive runs on one session legitimately differ (the
+        cost-model feedback loop recalibrates between queries), so the
+        comparison is two fresh stacks running the identical 8-query
+        sequence — one traced, one not.
+        """
+        def run_mix(trace):
+            harness = Harness(catalog, workers=1)
+            try:
+                with harness.client() as client:
+                    totals = [
+                        (client.execute(sql, trace=trace).total_ns,
+                         repr(client.execute(sql, trace=trace).rows))
+                        for sql in ALL_EVALUATION_QUERIES.values()
+                    ]
+                    payloads = client.traces()
+            finally:
+                harness.close()
+            return totals, payloads
+
+        plain, no_payloads = run_mix(trace=False)
+        traced, payloads = run_mix(trace=True)
+        assert traced == plain
+        assert no_payloads == []
+        assert len(payloads) == 2 * len(ALL_EVALUATION_QUERIES)
+
+
+class TestMetricsExposition:
+    def test_metrics_opcode_serves_parseable_prometheus(self, fast):
+        with fast.client() as client:
+            client.execute(SQL)
+            reply = client.metrics()
+        assert reply["content_type"] == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_prometheus_text(reply["text"])
+        names = {name for name, _, _ in parsed["samples"]}
+        assert names, "exposition should not be empty after a query"
+        assert all(name.startswith("repro_") for name in names)
+        # the tenant namespace is folded into labels
+        tenants = {
+            labels["tenant"]
+            for _, labels, _ in parsed["samples"]
+            if "tenant" in labels
+        }
+        assert "alpha" in tenants
+        assert parsed["types"], "every family carries a # TYPE line"
+
+
+class TestStatsSLO:
+    def test_per_tenant_slo_under_two_tenant_load(self, fast):
+        with fast.client() as alpha:
+            for _ in range(4):
+                alpha.execute(SQL)
+            with fast.client(token="beta-token") as beta:
+                for _ in range(2):
+                    beta.execute(SQL)
+            stats = alpha.stats()
+        tenants = stats["tenants"]
+        for name, count in (("alpha", 4), ("beta", 2)):
+            slo = tenants[name]["slo"]
+            latency = slo["latency_ms"]
+            assert latency["count"] == count
+            for quantile in ("p50", "p95", "p99"):
+                assert latency[quantile] is not None
+                assert latency[quantile] >= 0.0
+            assert latency["p50"] <= latency["p99"]
+            assert slo["outcomes"]["ok"] == count
+            assert slo["deadline_missed"] == 0
+            assert slo["error_budget_burn"] >= 0.0
+            assert slo["objective"]["latency_ms"] > 0
+        # the demo roster's per-tenant objectives are in force
+        assert tenants["alpha"]["slo"]["objective"]["latency_ms"] == 250.0
+        assert tenants["beta"]["slo"]["objective"]["latency_ms"] == 1000.0
+
+
+class TestFlightRecorderOverTheWire:
+    def test_ok_and_error_outcomes_recorded(self, fast):
+        with fast.client() as client:
+            client.execute(SQL)
+            with pytest.raises(NetClientError) as exc_info:
+                client.execute("SELECT nonexistent_column FROM orders")
+            # the ERROR frame carries the query's flight record
+            record = exc_info.value.payload.get("flight_record")
+            assert record is not None
+            assert record["outcome"] == "error"
+            assert record["tenant"] == "alpha"
+            assert "nonexistent_column" in record["sql"]
+            dump = client.flight_recorder()
+        outcomes = [r["outcome"] for r in dump["records"]]
+        assert "ok" in outcomes and "error" in outcomes
+        assert dump["recorded"] == 2 and dump["dropped"] == 0
+        for record in dump["records"]:
+            assert {"seq", "sql", "tenant", "status", "outcome",
+                    "latency_ms"} <= set(record)
+
+    def test_cancel_and_deadline_outcomes_recorded(self, slow):
+        with slow.client() as client:
+            client.execute(SQL, wait=False)      # occupies the one worker
+            time.sleep(0.05)
+            doomed = client.execute(SQL, deadline_s=0.01, wait=False)
+            queued = client.execute(SQL, wait=False)
+            assert client.cancel(queued) is True
+            with pytest.raises(NetClientError) as exc_info:
+                client.wait(doomed)
+            assert exc_info.value.code == ErrorCode.DEADLINE_EXCEEDED
+            assert (
+                exc_info.value.payload["flight_record"]["outcome"]
+                == "deadline"
+            )
+            slow.settle()
+            dump = client.flight_recorder()
+        outcomes = {r["outcome"] for r in dump["records"]}
+        assert {"ok", "deadline", "cancelled"} <= outcomes
+
+    def test_ring_bounded_and_limit_respected(self, catalog):
+        harness = Harness(catalog, workers=2, flight_recorder_capacity=4)
+        try:
+            with harness.client() as client:
+                for _ in range(8):
+                    client.execute(SQL)
+                harness.settle()
+                dump = client.flight_recorder()
+                assert dump["capacity"] == 4
+                assert dump["recorded"] == 8
+                assert dump["dropped"] == 4
+                assert len(dump["records"]) == 4
+                limited = client.flight_recorder(limit=2)
+                assert len(limited["records"]) == 2
+                # newest-last: the limited view is the dump's tail
+                assert limited["records"] == dump["records"][-2:]
+        finally:
+            harness.close()
+
+    def test_invalid_limit_is_a_structured_error(self, fast):
+        with fast.client() as client:
+            client.send_frame(18, {"limit": "many"})  # FLIGHT_RECORDER
+            with pytest.raises(NetClientError) as exc_info:
+                client.flight_recorder()
+            assert exc_info.value.code == ErrorCode.BAD_REQUEST
