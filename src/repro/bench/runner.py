@@ -140,25 +140,41 @@ def run_sweep(
                     write_chrome_trace(
                         os.path.join(trace_dir, fname), tracer
                     )
+            extra = {
+                "kernel_launches": result.stats.kernel_launches,
+                "transfer_fraction": result.stats.transfer_fraction,
+                "peak_device_bytes": result.stats.peak_device_bytes,
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+                "predicted_ms": result.predicted_ms,
+                "kernel_time_by_tag_ms": {
+                    tag: ns / 1e6
+                    for tag, ns in result.stats.kernel_time_by_tag.items()
+                },
+                "launches_by_tag": dict(result.stats.launches_by_tag),
+                "shards": getattr(result, "shards", 1),
+            }
+            group_report = getattr(result, "group_report", None)
+            if group_report is not None:
+                devices = group_report.get("devices", [])
+                extra["makespan_ms"] = group_report["makespan_ns"] / 1e6
+                extra["strategy"] = group_report.get("strategy")
+                extra["interconnect_bytes"] = sum(
+                    d.get("peer_bytes", 0) for d in devices
+                ) // 2  # each peer copy is tallied at both endpoints
+                extra["per_device_transfer_bytes"] = [
+                    d.get("transfer_bytes", 0) for d in devices
+                ]
+                extra["per_device_peer_bytes"] = [
+                    d.get("peer_bytes", 0) for d in devices
+                ]
             sweep.add(
                 Measurement(
                     name,
                     scale_factor,
                     result.total_ms,
                     rows=result.num_rows,
-                    extra={
-                        "kernel_launches": result.stats.kernel_launches,
-                        "transfer_fraction": result.stats.transfer_fraction,
-                        "peak_device_bytes": result.stats.peak_device_bytes,
-                        "cache_hits": result.cache_hits,
-                        "cache_misses": result.cache_misses,
-                        "predicted_ms": result.predicted_ms,
-                        "kernel_time_by_tag_ms": {
-                            tag: ns / 1e6
-                            for tag, ns in result.stats.kernel_time_by_tag.items()
-                        },
-                        "launches_by_tag": dict(result.stats.launches_by_tag),
-                    },
+                    extra=extra,
                 )
             )
     return sweep
@@ -172,6 +188,8 @@ def run_throughput(
     seed: int = 0,
     concurrent: bool = False,
     drain_timeout_s: float = 300.0,
+    shards: int = 1,
+    interconnect: str = "pcie",
 ) -> Sweep:
     """Batched-workload throughput: the serving-layer companion to
     :func:`run_sweep`'s solo latencies.
@@ -198,7 +216,9 @@ def run_throughput(
         catalog = generate_tpch(scale_factor, seed=seed)
         workload = list(statements) if statements else paper_mix_statements()
         for streams in streams_list:
-            with EngineSession(catalog, mode=mode) as session:
+            with EngineSession(
+                catalog, mode=mode, shards=shards, interconnect=interconnect,
+            ) as session:
                 extra = {}
                 if concurrent:
                     import time as _time
@@ -236,6 +256,11 @@ def run_throughput(
                             "queries_per_second": report.queries_per_second,
                             "plan_cache_hit_ratio":
                                 session.plan_cache.hit_ratio,
+                            "shards": shards,
+                            "interconnect_bytes": (
+                                session.sharded.group.interconnect_bytes()
+                                if session.sharded is not None else 0
+                            ),
                             **extra,
                         },
                     )

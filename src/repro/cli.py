@@ -87,8 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution mode (default: the cost model decides)",
     )
     parser.add_argument(
-        "--device", choices=("v100", "gtx1080"), default="v100",
+        "--device", choices=("v100", "gtx1080", "a100"), default="v100",
         help="simulated device preset",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="modelled devices in the group (default 1: the solo "
+        "engine, bit-identical)",
+    )
+    parser.add_argument(
+        "--interconnect", choices=("pcie", "nvlink", "nvswitch"),
+        default="pcie",
+        help="peer fabric between shards (default pcie)",
     )
     parser.add_argument(
         "-q", "--query", help="run one statement and exit",
@@ -137,9 +147,28 @@ def engine_options(args) -> EngineOptions:
     )
 
 
-def make_engine(args, tracer=None, metrics=None) -> NestGPU:
-    device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
+def device_preset(args) -> DeviceSpec:
+    return {
+        "v100": DeviceSpec.v100,
+        "gtx1080": DeviceSpec.gtx1080,
+        "a100": DeviceSpec.a100,
+    }[args.device]()
+
+
+def make_engine(args, tracer=None, metrics=None):
+    device = device_preset(args)
     catalog = generate_tpch(args.scale)
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        from .core import ShardedEngine
+        from .gpu.spec import InterconnectSpec
+
+        return ShardedEngine(
+            catalog, device=device, options=engine_options(args),
+            mode=args.mode, shards=shards,
+            interconnect=InterconnectSpec.from_name(args.interconnect),
+            tracer=tracer, metrics=metrics,
+        )
     return NestGPU(
         catalog, device=device, options=engine_options(args), mode=args.mode,
         tracer=tracer, metrics=metrics,
@@ -149,11 +178,13 @@ def make_engine(args, tracer=None, metrics=None) -> NestGPU:
 def make_session(args, tracer=None, metrics=None):
     from .serve import EngineSession
 
-    device = DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
+    device = device_preset(args)
     catalog = generate_tpch(args.scale)
     return EngineSession(
         catalog, device=device, options=engine_options(args), mode=args.mode,
         tracer=tracer, metrics=metrics,
+        shards=getattr(args, "shards", 1),
+        interconnect=getattr(args, "interconnect", "pcie"),
     )
 
 

@@ -15,6 +15,7 @@ from .costmodel import (
 from .executor import NestGPU, PreparedQuery, QueryResult
 from .indexing import CorrelatedIndex, index_pays_off
 from .runtime import Runtime, SubqueryProgram
+from .sharded import ShardedEngine, ShardedPrepared
 from .subquery import (
     ExistsResultVector,
     ScalarResultVector,
@@ -32,6 +33,8 @@ __all__ = [
     "QueryResult",
     "Runtime",
     "ScalarResultVector",
+    "ShardedEngine",
+    "ShardedPrepared",
     "SubqueryCache",
     "SubqueryProgram",
     "TwoLevelResultVector",

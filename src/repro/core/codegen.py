@@ -83,10 +83,16 @@ class CodeGenerator:
 
     # -- public ----------------------------------------------------------
 
-    def generate(self, plan: Plan) -> DriveProgram:
+    def generate(self, plan: Plan, fetch_result: bool = True) -> DriveProgram:
         self._emit("def drive(rt):")
         result_var = self._emit_plan(plan, _Frame.outermost())
-        self._emit(f"return rt.fetch({result_var})")
+        if fetch_result:
+            self._emit(f"return rt.fetch({result_var})")
+        else:
+            # sharded execution: per-shard partials stay device-resident;
+            # the gather exchange moves them, and the coordinator pays
+            # the single d2h fetch after the global tail
+            self._emit(f"return {result_var}")
         program = DriveProgram(
             "\n".join(self._lines) + "\n", self._nodes, self._specs
         )
@@ -382,6 +388,8 @@ class _Frame:
         return _Frame(None, None, None)
 
 
-def generate_drive_program(builder: PlanBuilder, plan: Plan) -> DriveProgram:
+def generate_drive_program(
+    builder: PlanBuilder, plan: Plan, fetch_result: bool = True
+) -> DriveProgram:
     """Generate and compile the drive program for a plan."""
-    return CodeGenerator(builder).generate(plan)
+    return CodeGenerator(builder).generate(plan, fetch_result=fetch_result)

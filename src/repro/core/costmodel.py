@@ -128,6 +128,55 @@ def sort_cost_ns(spec: DeviceSpec, rows: float, row_bytes: float) -> float:
 
 
 # ---------------------------------------------------------------------------
+# exchange costs (multi-device plans)
+# ---------------------------------------------------------------------------
+
+
+def link_transfer_ns(interconnect, src: int, dst: int, nbytes: float) -> float:
+    """One peer copy: per-message latency plus bytes at link bandwidth."""
+    link = interconnect.link(src, dst)
+    return link.latency_ns + nbytes / link.bytes_per_ns
+
+
+def broadcast_cost_ns(spec: DeviceSpec, shards: int, nbytes: float) -> float:
+    """Replicating ``nbytes`` of host-resident table onto every shard.
+
+    Full copies are staged from the host over each shard's own PCIe
+    link; the shards load concurrently, so the *critical-path* cost is
+    one full copy — but every shard's clock is busy for it, which is
+    exactly what charging h2d per member models.  Returned here is the
+    per-shard (= critical path) time the optimizer compares.
+    """
+    return nbytes / spec.pcie_bytes_per_ns
+
+
+def repartition_cost_ns(
+    interconnect, shards: int, total_bytes: float
+) -> float:
+    """Hash-redistributing a table across ``shards`` over peer links.
+
+    With uniformly hashed keys, ``(N-1)/N`` of the table crosses links
+    and each shard exchanges with ``N-1`` peers; per-shard critical
+    path is its outgoing traffic plus the per-peer message latencies.
+    """
+    if shards <= 1:
+        return 0.0
+    moved = total_bytes * (shards - 1) / shards
+    per_shard = moved / shards
+    link = interconnect.link(0, 1 % shards)
+    return (shards - 1) * link.latency_ns + per_shard / link.bytes_per_ns
+
+
+def gather_cost_ns(interconnect, shards: int, total_bytes: float) -> float:
+    """Collecting per-shard partials onto the coordinator's links."""
+    if shards <= 1:
+        return 0.0
+    incoming = total_bytes * (shards - 1) / shards
+    link = interconnect.link(1 % shards, 0)
+    return (shards - 1) * link.latency_ns + incoming / link.bytes_per_ns
+
+
+# ---------------------------------------------------------------------------
 # analytic estimation of a flat plan (for the unnested alternative)
 # ---------------------------------------------------------------------------
 

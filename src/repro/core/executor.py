@@ -73,6 +73,12 @@ class QueryResult:
     # abandoned_ms is the modelled time the nested attempt sank
     adaptive_switch: bool = False
     abandoned_ms: float = 0.0
+    # sharded execution (core.sharded): device-group width, the wall
+    # clock of the slowest shard plus the coordinator tail, and the
+    # per-device / per-exchange report; solo runs keep the defaults
+    shards: int = 1
+    makespan_ns: float | None = None
+    group_report: dict | None = None
 
     @property
     def total_ms(self) -> float:

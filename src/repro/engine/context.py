@@ -72,7 +72,7 @@ class ColumnResidency:
     checks).
     """
 
-    _GUARDED_METHODS = ("ensure", "release_all")
+    _GUARDED_METHODS = ("ensure", "admit", "release_all")
 
     def __init__(self, device: Device, lru: bool = False):
         self.device = device
@@ -125,6 +125,36 @@ class ColumnResidency:
         self._resident[key] = nbytes
         self._order.append(key)
         self.transfers += 1
+        return True
+
+    def admit(self, key: tuple[str, str], nbytes: int) -> bool:
+        """Register ``key`` as resident *without* charging a transfer.
+
+        The sharded executor's exchange phase uses this: a
+        hash-repartitioned column arrives over the peer interconnect
+        (already charged on both endpoint clocks by the
+        :class:`~repro.gpu.group.DeviceGroup`), so only the allocation
+        — and eviction pressure — is accounted here.  Returns True if
+        the column was newly admitted.
+        """
+        if key in self._resident:
+            self.touches += 1
+            if self.lru:
+                self._order.remove(key)
+                self._order.append(key)
+            return False
+        while True:
+            try:
+                self.device.alloc(nbytes)
+                break
+            except DeviceMemoryError:
+                if not self._order:
+                    raise
+                victim = self._order.pop(0)
+                self.device.free(self._resident.pop(victim))
+                self.evictions += 1
+        self._resident[key] = nbytes
+        self._order.append(key)
         return True
 
     def release_all(self) -> None:

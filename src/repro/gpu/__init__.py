@@ -1,14 +1,18 @@
 """Simulated GPU substrate: device, memory pools, primitive kernels."""
 
 from .device import Device
+from .group import DeviceGroup
 from .memory import MemoryPool, PoolMark, PoolSet, RawDeviceAllocator
-from .spec import DeviceSpec
+from .spec import DeviceSpec, InterconnectSpec, LinkSpec
 from .stats import ExecutionStats
 
 __all__ = [
     "Device",
+    "DeviceGroup",
     "DeviceSpec",
     "ExecutionStats",
+    "InterconnectSpec",
+    "LinkSpec",
     "MemoryPool",
     "PoolMark",
     "PoolSet",

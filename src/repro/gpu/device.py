@@ -38,7 +38,7 @@ class Device:
     #: reads and writes the clock/stats/memory accounting.
     _GUARDED_METHODS = (
         "alloc", "free", "launch", "materialize",
-        "transfer_h2d", "transfer_d2h", "reset",
+        "transfer_h2d", "transfer_d2h", "transfer_peer", "reset",
     )
 
     def __init__(self, spec: DeviceSpec, tracer=None):
@@ -157,6 +157,21 @@ class Device:
             self.sampler.record_transfer(nbytes, time_ns)
         if self.tracer.enabled:
             self.tracer.leaf("d2h", "transfer", time_ns, bytes=nbytes)
+        return time_ns
+
+    def transfer_peer(self, nbytes: int, link, peer: int) -> float:
+        """Charge a device-to-device copy over an interconnect link.
+
+        Both ends of a peer copy are busy for its duration, so the
+        :class:`DeviceGroup` charges this on the sender *and* the
+        receiver; ``peer`` is the other device's index, recorded on the
+        trace span only.
+        """
+        time_ns = link.transfer_ns(nbytes)
+        self.stats.peer_bytes += nbytes
+        self.stats.peer_time_ns += time_ns
+        if self.tracer.enabled:
+            self.tracer.leaf("p2p", "transfer", time_ns, bytes=nbytes, peer=peer)
         return time_ns
 
     # -- bookkeeping ----------------------------------------------------------

@@ -30,6 +30,8 @@ class ExecutionStats:
     d2h_time_ns: float = 0.0
     malloc_calls: int = 0
     malloc_time_ns: float = 0.0
+    peer_bytes: int = 0
+    peer_time_ns: float = 0.0
     peak_device_bytes: int = 0
     kernel_time_by_tag: dict[str, float] = field(default_factory=dict)
     launches_by_tag: dict[str, int] = field(default_factory=dict)
@@ -42,6 +44,7 @@ class ExecutionStats:
             + self.h2d_time_ns
             + self.d2h_time_ns
             + self.malloc_time_ns
+            + self.peer_time_ns
         )
 
     @property
@@ -57,6 +60,12 @@ class ExecutionStats:
         """Share of total time spent moving data over PCIe."""
         total = self.total_ns
         return self.transfer_time_ns / total if total else 0.0
+
+    @property
+    def interconnect_fraction(self) -> float:
+        """Share of total time spent on device-to-device peer links."""
+        total = self.total_ns
+        return self.peer_time_ns / total if total else 0.0
 
     def copy(self) -> "ExecutionStats":
         clone = ExecutionStats()
@@ -93,6 +102,24 @@ class ExecutionStats:
                 setattr(diff, spec.name, value - getattr(earlier, spec.name))
         return diff
 
+    def accumulate(self, other: "ExecutionStats") -> None:
+        """Fold ``other`` into this snapshot (for device-group merges).
+
+        Flows add, per-tag dicts add tag-wise, and level fields take
+        the maximum — the group-wide peak is the worst single device
+        since shards never share one memory.
+        """
+        for spec in fields(self):
+            value = getattr(other, spec.name)
+            if spec.name in _LEVEL_FIELDS:
+                setattr(self, spec.name, max(getattr(self, spec.name), value))
+            elif isinstance(value, dict):
+                mine = getattr(self, spec.name)
+                for tag, amount in value.items():
+                    mine[tag] = mine.get(tag, type(amount)()) + amount
+            else:
+                setattr(self, spec.name, getattr(self, spec.name) + value)
+
     def to_dict(self) -> dict:
         """Every field, dicts copied — for metrics dumps and JSON."""
         out = {}
@@ -109,5 +136,6 @@ class ExecutionStats:
             "h2d_ms": self.h2d_time_ns / 1e6,
             "d2h_ms": self.d2h_time_ns / 1e6,
             "malloc_ms": self.malloc_time_ns / 1e6,
+            "peer_ms": self.peer_time_ns / 1e6,
             "total_ms": self.total_ms,
         }

@@ -84,8 +84,14 @@ def build_net_parser() -> argparse.ArgumentParser:
                        help="bounded submission queue depth (default 64)")
     serve.add_argument("--mode", choices=("auto", "nested", "unnested"),
                        default="auto", help="execution mode")
-    serve.add_argument("--device", choices=("v100", "gtx1080"),
+    serve.add_argument("--device", choices=("v100", "gtx1080", "a100"),
                        default="v100", help="simulated device preset")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="modelled devices in the group (default 1)")
+    serve.add_argument("--interconnect",
+                       choices=("pcie", "nvlink", "nvswitch"),
+                       default="pcie",
+                       help="peer fabric between shards (default pcie)")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=0,
@@ -168,12 +174,18 @@ def _serve(args) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    device = (
-        DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
-    )
+    device = {
+        "v100": DeviceSpec.v100,
+        "gtx1080": DeviceSpec.gtx1080,
+        "a100": DeviceSpec.a100,
+    }[args.device]()
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     session = EngineSession(
         generate_tpch(args.scale), device=device, options=EngineOptions(),
         mode=args.mode, metrics=MetricsRegistry(),
+        shards=args.shards, interconnect=args.interconnect,
     )
     try:
         slo_default = SLObjective(args.slo_ms, args.slo_target)

@@ -2,6 +2,7 @@
 
 from .binder import Binder, BoundBlock, SubqueryDescriptor
 from .builder import PlanBuilder
+from .exchange import Broadcast, ExchangeStep, Gather, HashRepartition
 from .invariants import InvariantInfo, mark_invariants
 from .nodes import explain
 from .optimizer import prune_scan_columns, try_exists_semijoin
@@ -9,6 +10,10 @@ from .optimizer import prune_scan_columns, try_exists_semijoin
 __all__ = [
     "Binder",
     "BoundBlock",
+    "Broadcast",
+    "ExchangeStep",
+    "Gather",
+    "HashRepartition",
     "InvariantInfo",
     "PlanBuilder",
     "SubqueryDescriptor",

@@ -63,8 +63,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         "(default 300)")
     parser.add_argument("--mode", choices=("auto", "nested", "unnested"),
                         default="auto", help="execution mode")
-    parser.add_argument("--device", choices=("v100", "gtx1080"),
+    parser.add_argument("--device", choices=("v100", "gtx1080", "a100"),
                         default="v100", help="simulated device preset")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="modelled devices in the group (default 1: "
+                        "the solo engine, bit-identical)")
+    parser.add_argument("--interconnect",
+                        choices=("pcie", "nvlink", "nvswitch"),
+                        default="pcie",
+                        help="peer fabric between shards (default pcie)")
+    parser.add_argument("--device-trace", metavar="PATH",
+                        help="write a per-device Chrome trace (one lane per "
+                        "shard, per-query busy spans)")
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--workload", metavar="FILE",
                         help="file of ;-separated SQL statements")
@@ -96,15 +106,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def verify_solo_identity(statements, catalog_factory, device, mode) -> list[str]:
+def verify_solo_identity(statements, catalog_factory, device, mode,
+                         shards: int = 1,
+                         interconnect: str = "pcie") -> list[str]:
     """Fresh-session vs single-query engine, per distinct statement.
 
     Returns a list of mismatch descriptions (empty == all bit-identical).
     The session side uses a *fresh* session per statement: within-batch
     queries legitimately get faster as state amortises; the contract is
     that the session machinery itself adds zero modelled cost.
+
+    With ``shards > 1`` the modelled times legitimately differ (the
+    group pays exchanges and gathers the solo engine never sees), so
+    the contract weakens to *row equivalence*: the sharded result must
+    contain exactly the solo rows, order-insensitive, floats compared
+    to 6 decimal places.
     """
     from ..core import NestGPU
+
+    def row_key(rows):
+        def norm(value):
+            if isinstance(value, float):
+                # NaN != NaN would flag identical empty-aggregate rows
+                return "nan" if value != value else f"{value:.6f}"
+            return repr(value)
+
+        return sorted(tuple(norm(v) for v in row) for row in rows)
 
     mismatches: list[str] = []
     seen: set[str] = set()
@@ -119,15 +146,79 @@ def verify_solo_identity(statements, catalog_factory, device, mode) -> list[str]
         ).execute(sql)
         with EngineSession(
             catalog_factory(), device=device, options=EngineOptions(),
-            mode=mode,
+            mode=mode, shards=shards, interconnect=interconnect,
         ) as session:
             fresh = session.execute(sql)
-        if repr(solo.stats.total_ns) != repr(fresh.stats.total_ns):
+        if shards > 1:
+            if row_key(solo.rows) != row_key(fresh.rows):
+                mismatches.append(
+                    f"{key[:60]}: sharded rows ({fresh.num_rows}) != "
+                    f"solo rows ({solo.num_rows})"
+                )
+        elif repr(solo.stats.total_ns) != repr(fresh.stats.total_ns):
             mismatches.append(
                 f"{key[:60]}: solo {solo.stats.total_ns!r} ns != "
                 f"session {fresh.stats.total_ns!r} ns"
             )
     return mismatches
+
+
+def write_device_trace(report, shards: int, path: str) -> None:
+    """A Chrome trace with one lane per modelled device.
+
+    Each completed query contributes one busy span per device it
+    touched (from the group report; solo results land on device 0), so
+    the artifact shows how evenly the scatter-gather drive loaded the
+    group.
+    """
+    events: list[dict] = [
+        {
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": dev,
+            "args": {"name": f"device {dev}"},
+        }
+        for dev in range(max(shards, 1))
+    ]
+    for query in report.completed:
+        result = query.result
+        devices = (
+            result.group_report.get("devices", [])
+            if result is not None and result.group_report is not None
+            else []
+        )
+        if not devices and result is not None:
+            devices = [{
+                "device": 0,
+                "total_ns": result.stats.total_ns,
+                "kernel_time_ns": result.stats.kernel_time_ns,
+                "peer_bytes": 0,
+            }]
+        for dev in devices:
+            if not dev["total_ns"]:
+                continue
+            events.append({
+                "name": normalize_sql(query.sql)[:60],
+                "cat": "device",
+                "ph": "X",
+                "ts": query.start_ns / 1e3,
+                "dur": dev["total_ns"] / 1e3,
+                "pid": 0,
+                "tid": dev["device"],
+                "args": {
+                    "seq": query.seq,
+                    "kernel_ms": dev["kernel_time_ns"] / 1e6,
+                    "peer_bytes": dev.get("peer_bytes", 0),
+                    "strategy": (
+                        result.plan_choice if result is not None else None
+                    ),
+                },
+            })
+    with open(path, "w") as handle:
+        json.dump(
+            {"traceEvents": events, "displayTimeUnit": "ms",
+             "otherData": {"clock": "modelled-device-ns"}},
+            handle,
+        )
+        handle.write("\n")
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -155,9 +246,18 @@ def serve_main(argv: list[str] | None = None) -> int:
         print("error: --calibration-report requires --calibrate",
               file=sys.stderr)
         return 2
-    device = (
-        DeviceSpec.v100() if args.device == "v100" else DeviceSpec.gtx1080()
-    )
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.calibrate and args.shards > 1:
+        print("error: --calibrate needs a single-device session "
+              "(the calibrator samples one clock)", file=sys.stderr)
+        return 2
+    device = {
+        "v100": DeviceSpec.v100,
+        "gtx1080": DeviceSpec.gtx1080,
+        "a100": DeviceSpec.a100,
+    }[args.device]()
     metrics = None
     if args.metrics or args.calibrate:
         # the calibration flow reads prediction errors off the query
@@ -184,6 +284,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     session = EngineSession(
         catalog_factory(), device=device, options=EngineOptions(),
         mode=args.mode, metrics=metrics, coefficients=coefficients,
+        shards=args.shards, interconnect=args.interconnect,
     )
 
     def run_pass():
@@ -305,6 +406,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.report:
         payload = report.to_dict()
         payload["session"] = session.stats()
+        payload["shards"] = args.shards
+        payload["interconnect"] = args.interconnect if args.shards > 1 else None
         with open(args.report, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
@@ -312,6 +415,10 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.trace:
         report.write_chrome_trace(args.trace)
         print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.device_trace:
+        write_device_trace(report, args.shards, args.device_trace)
+        print(f"device trace written to {args.device_trace}",
+              file=sys.stderr)
     if args.metrics and metrics is not None:
         metrics.write_json(args.metrics)
         print(f"metrics written to {args.metrics}", file=sys.stderr)
@@ -327,11 +434,16 @@ def serve_main(argv: list[str] | None = None) -> int:
     if args.verify_solo:
         mismatches = verify_solo_identity(
             statements, catalog_factory, device, args.mode,
+            shards=args.shards, interconnect=args.interconnect,
+        )
+        label = (
+            "solo bit-identity" if args.shards == 1
+            else f"sharded({args.shards}) row equivalence"
         )
         if mismatches:
-            print("solo bit-identity FAILED:", file=sys.stderr)
+            print(f"{label} FAILED:", file=sys.stderr)
             for line in mismatches:
                 print(f"  {line}", file=sys.stderr)
             return 1
-        print("solo bit-identity: OK")
+        print(f"{label}: OK")
     return 0

@@ -83,6 +83,7 @@ class ScheduledQuery:
             "path": (
                 self.result.plan_choice if self.result is not None else None
             ),
+            "shards": self.result.shards if self.result is not None else None,
             "detail": self.detail,
             "wall_wait_ms": self.wall_wait_ms,
             "wall_run_ms": self.wall_run_ms,
@@ -256,11 +257,17 @@ class QueryScheduler:
             entry.status = "done"
             entry.stream = stream
             entry.start_ns = start
-            entry.duration_ns = result.stats.total_ns
+            # a sharded result's wall-clock is the group makespan (the
+            # slowest device), not the sum of every device's busy time
+            entry.duration_ns = (
+                result.makespan_ns
+                if result.makespan_ns is not None
+                else result.stats.total_ns
+            )
             entry.queue_wait_ns = start
             free_at[stream] = entry.end_ns
             in_flight.append((entry.end_ns, entry.working_set_bytes))
-            report.bus_ns += result.stats.transfer_time_ns
+            report.bus_ns += self._bus_contribution(result)
             if metrics is not None:
                 metrics.counter("serve.queries.admitted").inc()
                 metrics.counter(f"serve.stream.{stream}.queries").inc()
@@ -275,6 +282,21 @@ class QueryScheduler:
                 report.queries_per_second
             )
         return report
+
+    @staticmethod
+    def _bus_contribution(result: QueryResult) -> float:
+        """The query's claim on the shared host bus.
+
+        One device: its PCIe transfer time.  A device group: each shard
+        has its *own* PCIe link to the host, so the serialized-bus floor
+        is set by the busiest single link, not the group-merged sum
+        (which would erase the very parallelism sharding buys).
+        """
+        if result.group_report is not None:
+            devices = result.group_report.get("devices", [])
+            if devices:
+                return max(d["transfer_time_ns"] for d in devices)
+        return result.stats.transfer_time_ns
 
     @staticmethod
     def _admit(

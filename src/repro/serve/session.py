@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import re
 
-from ..core import NestGPU, PreparedQuery, QueryResult
+from ..core import NestGPU, PreparedQuery, QueryResult, ShardedEngine
 from ..core.calibrator import Calibrator, CostCoefficients
 from ..core.executor import _sql_snippet, preload_columns
 from ..engine import ColumnResidency, EngineOptions, ExecutionContext
 from ..gpu import Device, DeviceSpec, PoolSet, RawDeviceAllocator
+from ..gpu.spec import InterconnectSpec
 from ..obs.tracer import NULL_TRACER
 from ..storage import Catalog
 from .plancache import PlanCache
@@ -126,16 +127,40 @@ class EngineSession:
         plan_cache_capacity: int = 128,
         coefficients: CostCoefficients | None = None,
         calibration: bool = True,
+        shards: int = 1,
+        interconnect: InterconnectSpec | str | None = None,
     ):
         self.catalog = catalog
         self.lock = OwnedLock()
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
-        self.engine = NestGPU(
-            catalog, device=device, options=options, mode=mode,
-            tracer=self.tracer, metrics=metrics, coefficients=coefficients,
-        )
-        self.device = Device(self.engine.device_spec, tracer=self.tracer)
+        self.shards = shards
+        self.sharded: ShardedEngine | None = None
+        if shards > 1:
+            # the session owns a device *group*; the solo collaborators
+            # below stay constructed (and inert) so stats()/close() need
+            # no branching, but execution routes through the sharded
+            # engine's per-shard contexts
+            if isinstance(interconnect, str):
+                interconnect = InterconnectSpec.from_name(interconnect)
+            self.sharded = ShardedEngine(
+                catalog, device=device, options=options, mode=mode,
+                shards=shards, interconnect=interconnect,
+                tracer=self.tracer, metrics=metrics,
+                coefficients=coefficients,
+            )
+            self.engine = self.sharded.planner
+            self.device = self.sharded.group[0]
+            # the calibrator fits single-device kernel samples; a group's
+            # interleaved clocks would poison the fit
+            calibration = False
+        else:
+            self.engine = NestGPU(
+                catalog, device=device, options=options, mode=mode,
+                tracer=self.tracer, metrics=metrics,
+                coefficients=coefficients,
+            )
+            self.device = Device(self.engine.device_spec, tracer=self.tracer)
         # the feedback loop's observe side: the session device samples
         # every kernel/transfer/materialization into the calibrator,
         # and recalibrate() refits the cost-model coefficients from them
@@ -174,6 +199,8 @@ class EngineSession:
             self.raw_alloc.free_all()
             self.residency.release_all()
             self.index_cache.clear()
+            if self.sharded is not None:
+                self.sharded.release()
             if self._session_span is not None:
                 self.tracer.end(
                     self._session_span, queries=self.queries_run
@@ -213,11 +240,27 @@ class EngineSession:
         cache; a hit skips all of it.
         """
         self._check_catalog()
-        key = PlanCache.key(sql, mode or self.engine.mode, param_sig)
+        cache_mode = mode or self.engine.mode
+        if self.sharded is not None:
+            # namespace the key: a sharded plan (placements, exchanges)
+            # is not interchangeable with a solo plan for the same SQL
+            cache_mode = f"{cache_mode}@x{self.shards}"
+        key = PlanCache.key(sql, cache_mode, param_sig)
         prepared = self.plan_cache.get(key)
         if prepared is not None:
             return prepared, True
-        prepared = self.engine.prepare(sql, mode)
+        if self.sharded is not None:
+            prepared = self.sharded.prepare(sql, mode)
+            if (self.catalog.version != self._catalog_version
+                    and self.catalog.version == self.sharded.declared_version):
+                # the prepare declared partition forms — a metadata
+                # write by this very session, not a data reload; adopt
+                # the version instead of invalidating the caches the
+                # prepare just warmed
+                with self.lock:
+                    self._catalog_version = self.catalog.version
+        else:
+            prepared = self.engine.prepare(sql, mode)
         self.plan_cache.put(key, prepared)
         return prepared, False
 
@@ -321,6 +364,11 @@ class EngineSession:
                 raise RuntimeError("session is closed")
             self._check_catalog()
             query_tracer = self.tracer if tracer is None else tracer
+            if self.sharded is not None:
+                return self._run_sharded(
+                    prepared, plan_cache_hit, query_tracer,
+                    rebind=(tracer is not None),
+                )
             previous_tracer = self.device.tracer
             self.device.tracer = query_tracer
             self.device.reset(rebase_peak=True)
@@ -352,13 +400,43 @@ class EngineSession:
                 self._record_session_metrics(result)
             return result
 
+    def _run_sharded(
+        self, prepared, plan_cache_hit: bool, query_tracer, rebind: bool,
+    ) -> QueryResult:
+        """The group execution path: the sharded engine owns the group
+        reset, per-shard contexts and end-of-query cleanup; the session
+        contributes the lock, the tracer swap and the bookkeeping."""
+        previous = [d.tracer for d in self.sharded.group]
+        for member in self.sharded.group:
+            member.tracer = query_tracer
+        try:
+            result = self.sharded.run_prepared(
+                prepared, tracer=query_tracer, metrics=self.metrics,
+            )
+        finally:
+            for member, prev in zip(self.sharded.group, previous):
+                member.tracer = prev
+            if rebind and self.tracer.enabled:
+                self.tracer.bind_device(self.device)
+        result.plan_cache_hit = plan_cache_hit
+        self.queries_run += 1
+        if self.metrics is not None:
+            self._record_session_metrics(result)
+        return result
+
     # -- inspection (REPL parity with NestGPU) -----------------------------
 
     def explain(self, sql: str, mode: str | None = None,
                 analyze: bool = False) -> str:
+        if self.sharded is not None and not analyze:
+            return self.sharded.explain(sql, mode)
         return self.engine.explain(sql, mode, analyze=analyze)
 
     def drive_source(self, sql: str, mode: str | None = None) -> str:
+        if self.sharded is not None:
+            prepared = self.sharded.prepare(sql, mode)
+            program = prepared.program or prepared.solo.program
+            return program.source
         return self.engine.drive_source(sql, mode)
 
     # -- admission support ------------------------------------------------
@@ -369,10 +447,20 @@ class EngineSession:
         The same ``(table, column)`` set the executor preloads, summed
         — the scheduler's admission control compares it against the
         modelled HBM capacity before letting the query run.
+
+        For a sharded plan this is the *widest shard's* demand — each
+        device admits only its own placements, so per-device capacity
+        is the binding constraint, not the group total.
         """
+        per_shard = getattr(prepared, "per_shard_bytes", None)
+        if per_shard:
+            return max(per_shard)
+        program = getattr(prepared, "program", None)
+        if program is None:
+            program = prepared.solo.program
         return sum(
             self.catalog.table(table).column(column).nbytes
-            for table, column in preload_columns(self.catalog, prepared.program)
+            for table, column in preload_columns(self.catalog, program)
         )
 
     @property
@@ -390,14 +478,25 @@ class EngineSession:
             metrics.counter("plan_cache.misses").inc()
         metrics.gauge("plan_cache.hit_ratio").set(self.plan_cache.hit_ratio)
         metrics.gauge("plan_cache.entries").set(len(self.plan_cache))
-        metrics.gauge("residency.resident_bytes").set(
-            self.residency.resident_bytes
-        )
-        metrics.gauge("residency.resident_columns").set(len(self.residency))
-        metrics.gauge("residency.evictions").set(self.residency.evictions)
-        metrics.gauge("pool.high_water_bytes").set(
-            sum(self.pools.high_water().values())
-        )
+        if self.sharded is not None:
+            states = self.sharded.shard_states
+            resident_bytes = sum(s.residency.resident_bytes for s in states)
+            resident_columns = sum(len(s.residency) for s in states)
+            evictions = sum(s.residency.evictions for s in states)
+            high_water = sum(
+                total
+                for s in states
+                for total in s.pools.high_water().values()
+            )
+        else:
+            resident_bytes = self.residency.resident_bytes
+            resident_columns = len(self.residency)
+            evictions = self.residency.evictions
+            high_water = sum(self.pools.high_water().values())
+        metrics.gauge("residency.resident_bytes").set(resident_bytes)
+        metrics.gauge("residency.resident_columns").set(resident_columns)
+        metrics.gauge("residency.evictions").set(evictions)
+        metrics.gauge("pool.high_water_bytes").set(high_water)
         metrics.histogram("session.preload_ms").observe(
             result.preload_ns / 1e6
         )
@@ -408,9 +507,27 @@ class EngineSession:
             return self._stats_locked()
 
     def _stats_locked(self) -> dict:
+        sharded = None
+        if self.sharded is not None:
+            sharded = {
+                "shards": self.shards,
+                "interconnect": self.sharded.interconnect.name,
+                "per_device": [
+                    {
+                        "resident_bytes": state.residency.resident_bytes,
+                        "resident_columns": len(state.residency),
+                        "in_use_bytes": state.device.memory_in_use,
+                        "peak_bytes": state.device.stats.peak_device_bytes,
+                    }
+                    for state in self.sharded.shard_states
+                ],
+                "interconnect_bytes": self.sharded.group.interconnect_bytes(),
+            }
         return {
             "session_id": self.session_id,
             "queries_run": self.queries_run,
+            "shards": self.shards,
+            "sharded": sharded,
             "plan_cache": self.plan_cache.stats(),
             "resident_columns": len(self.residency),
             "resident_bytes": self.residency.resident_bytes,

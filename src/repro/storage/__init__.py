@@ -18,6 +18,12 @@ from .datatypes import (
     string_type,
     varchar,
 )
+from .partition import (
+    PartitionSpec,
+    hash_buckets,
+    partition_indices,
+    partition_table,
+)
 from .schema import ColumnDef, Schema, schema
 from .table import Table
 
@@ -31,10 +37,14 @@ __all__ = [
     "ColumnDef",
     "DataType",
     "Dictionary",
+    "PartitionSpec",
     "Schema",
     "Table",
     "char",
     "column_from_values",
+    "hash_buckets",
+    "partition_indices",
+    "partition_table",
     "date_to_int",
     "date_type",
     "decimal_type",

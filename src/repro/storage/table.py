@@ -101,6 +101,15 @@ class Table:
         """Gather rows by position across all columns."""
         return Table(self.name, [c.take(indices) for c in self._columns])
 
+    def renamed(self, name: str) -> "Table":
+        """The same columns registered under a different table name.
+
+        Sharded execution uses this to hold several *forms* of one base
+        table in a shard catalog at once (home slice, replicated full
+        copy, hash-repartitioned slice) under form-qualified names.
+        """
+        return Table(name, self._columns)
+
     def rows(self) -> list[tuple]:
         """Decode the whole table into Python row tuples (small results)."""
         decoded = [c.to_python() for c in self._columns]
