@@ -142,6 +142,8 @@ def run_sweep(
                     )
             extra = {
                 "kernel_launches": result.stats.kernel_launches,
+                "fused_launches": result.stats.fused_launches,
+                "fused_kernels": result.stats.fused_kernels,
                 "transfer_fraction": result.stats.transfer_fraction,
                 "peak_device_bytes": result.stats.peak_device_bytes,
                 "cache_hits": result.cache_hits,

@@ -137,13 +137,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the planner's selectivity heuristics instead of exact "
         "predicate counting at optimization time",
     )
+    add_fusion_arguments(parser)
     return parser
+
+
+def add_fusion_arguments(parser) -> None:
+    parser.add_argument(
+        "--fusion", choices=("off", "on", "auto"), default="off",
+        help="kernel fusion over data-path chains: 'on' forces fused "
+        "launches, 'auto' lets the tuner measure both (default off)",
+    )
+    parser.add_argument(
+        "--no-fusion", action="store_true",
+        help="force fusion off (overrides --fusion)",
+    )
+
+
+def fusion_mode(args) -> str:
+    if getattr(args, "no_fusion", False):
+        return "off"
+    return getattr(args, "fusion", "off")
 
 
 def engine_options(args) -> EngineOptions:
     return EngineOptions(
         adaptive=not getattr(args, "no_adaptive", False),
         exact_selectivity=not getattr(args, "no_exact_selectivity", False),
+        fusion=fusion_mode(args),
     )
 
 

@@ -13,6 +13,13 @@ from .costmodel import (
     sort_cost_ns,
 )
 from .executor import NestGPU, PreparedQuery, QueryResult
+from .fusion import (
+    FUSION_OFF,
+    FusionDecision,
+    FusionPlan,
+    FusionTuner,
+    plan_fingerprint,
+)
 from .indexing import CorrelatedIndex, index_pays_off
 from .runtime import Runtime, SubqueryProgram
 from .sharded import ShardedEngine, ShardedPrepared
@@ -27,6 +34,10 @@ __all__ = [
     "CorrelatedIndex",
     "DriveProgram",
     "ExistsResultVector",
+    "FUSION_OFF",
+    "FusionDecision",
+    "FusionPlan",
+    "FusionTuner",
     "NestGPU",
     "NestedPrediction",
     "PreparedQuery",
@@ -44,6 +55,7 @@ __all__ = [
     "generate_drive_program",
     "index_pays_off",
     "join_cost_ns",
+    "plan_fingerprint",
     "predict_nested",
     "selection_cost_ns",
     "sort_cost_ns",

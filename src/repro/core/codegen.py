@@ -64,16 +64,26 @@ class DriveProgram:
     nodes: list[Plan]
     specs: list[SubquerySpec]
     code: object = None
+    # the fusion pass this program was generated under (core.fusion);
+    # None means the one-launch-per-primitive pipeline
+    fusion: object = None
 
     def compile(self) -> None:
         self.code = compile(self.source, "<drive-program>", "exec")
 
 
 class CodeGenerator:
-    """Generates the drive program for one (possibly nested) plan."""
+    """Generates the drive program for one (possibly nested) plan.
 
-    def __init__(self, builder: PlanBuilder):
+    When handed a :class:`~repro.core.fusion.FusionPlan`, fusible
+    data-path nodes (scans with predicates, filters, subquery-predicate
+    applications) are rewritten to the fused runtime entry points and
+    each rewrite is recorded on the plan for EXPLAIN.
+    """
+
+    def __init__(self, builder: PlanBuilder, fusion=None):
         self.builder = builder
+        self.fusion = fusion
         self._lines: list[str] = []
         self._indent = 1
         self._nodes: list[Plan] = []
@@ -85,6 +95,8 @@ class CodeGenerator:
 
     def generate(self, plan: Plan, fetch_result: bool = True) -> DriveProgram:
         self._emit("def drive(rt):")
+        if self.fusion is not None:
+            self._emit("# fusion: on — data-path chains charge one fused launch")
         result_var = self._emit_plan(plan, _Frame.outermost())
         if fetch_result:
             self._emit(f"return rt.fetch({result_var})")
@@ -94,10 +106,14 @@ class CodeGenerator:
             # the single d2h fetch after the global tail
             self._emit(f"return {result_var}")
         program = DriveProgram(
-            "\n".join(self._lines) + "\n", self._nodes, self._specs
+            "\n".join(self._lines) + "\n", self._nodes, self._specs,
+            fusion=self.fusion,
         )
         program.compile()
         return program
+
+    def _fuse(self, node: Plan) -> bool:
+        return self.fusion is not None and self.fusion.wants(node)
 
     # -- helpers -----------------------------------------------------------
 
@@ -156,7 +172,21 @@ class CodeGenerator:
 
         if isinstance(node, Scan):
             var = self._var("t" if in_loop else "v")
-            if in_loop:
+            if self._fuse(node):
+                self.fusion.record(
+                    "scan", node_id,
+                    f"{node.table} AS {node.binding}: "
+                    f"{len(node.filters)} predicate(s) + compact",
+                    transient=in_loop,
+                )
+                if in_loop:
+                    self._emit(
+                        f"{var} = rt.t_f_scan({frame.sp_var}, {node_id}, "
+                        f"{frame.env_var})"
+                    )
+                else:
+                    self._emit(f"{var} = rt.f_scan({node_id})")
+            elif in_loop:
                 self._emit(
                     f"{var} = rt.t_scan({frame.sp_var}, {node_id}, {frame.env_var})"
                 )
@@ -189,7 +219,19 @@ class CodeGenerator:
         if isinstance(node, Filter):
             child = self._emit_plan(node.child, frame)
             var = self._var("t" if in_loop else "v")
-            if in_loop:
+            if self._fuse(node):
+                self.fusion.record(
+                    "filter", node_id, "predicate tree + compact",
+                    transient=in_loop,
+                )
+                if in_loop:
+                    self._emit(
+                        f"{var} = rt.t_f_filter({frame.sp_var}, {node_id}, "
+                        f"{child}, {frame.env_var})"
+                    )
+                else:
+                    self._emit(f"{var} = rt.f_filter({node_id}, {child})")
+            elif in_loop:
                 self._emit(
                     f"{var} = rt.t_filter({frame.sp_var}, {node_id}, "
                     f"{child}, {frame.env_var})"
@@ -273,9 +315,22 @@ class CodeGenerator:
             f"{descriptor.index}: {res}"
             for descriptor, res in zip(node.descriptors, res_vars)
         ) + "}"
-        self._emit(
-            f"{var} = rt.apply_subquery_predicate({node_id}, {outer_var}, {vectors})"
-        )
+        if self._fuse(node):
+            self.fusion.record(
+                "subquery_predicate", node_id,
+                f"3VL predicate over {len(node.descriptors)} result "
+                "vector(s) + compact",
+                transient=frame.sp_var is not None,
+            )
+            self._emit(
+                f"{var} = rt.f_apply_subquery_predicate("
+                f"{node_id}, {outer_var}, {vectors})"
+            )
+        else:
+            self._emit(
+                f"{var} = rt.apply_subquery_predicate("
+                f"{node_id}, {outer_var}, {vectors})"
+            )
         return var
 
     def _emit_subquery_column(
@@ -389,7 +444,12 @@ class _Frame:
 
 
 def generate_drive_program(
-    builder: PlanBuilder, plan: Plan, fetch_result: bool = True
+    builder: PlanBuilder,
+    plan: Plan,
+    fetch_result: bool = True,
+    fusion=None,
 ) -> DriveProgram:
     """Generate and compile the drive program for a plan."""
-    return CodeGenerator(builder).generate(plan, fetch_result=fetch_result)
+    return CodeGenerator(builder, fusion=fusion).generate(
+        plan, fetch_result=fetch_result
+    )

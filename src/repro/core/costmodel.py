@@ -71,14 +71,26 @@ def selection_cost_ns(
     num_predicates: int,
     output_rows: float,
     row_bytes: float,
+    fused: bool = False,
 ) -> float:
     """Eq. (1) for a selection: predicate scans, prefix-sum, scatter,
-    then materialization of the qualifying rows."""
+    then materialization of the qualifying rows.
+
+    ``fused=True`` is the analytic twin of the fusion pass
+    (core.fusion): the same iteration work, but one launch constant
+    instead of one per primitive.
+    """
+    scans = max(1, num_predicates)
+    ands = max(0, num_predicates - 1)
+    if fused:
+        work = scans + ands + _log_work(input_rows) + 1.0
+        cost = _kernel_ns(spec, input_rows, work)
+        cost += output_rows * row_bytes * spec.materialize_ns_per_byte
+        return cost
     cost = 0.0
-    for _ in range(max(1, num_predicates)):
+    for _ in range(scans):
         cost += _kernel_ns(spec, input_rows)
-    if num_predicates > 1:
-        cost += (num_predicates - 1) * _kernel_ns(spec, input_rows)  # AND kernels
+    cost += ands * _kernel_ns(spec, input_rows)  # AND kernels
     cost += _kernel_ns(spec, input_rows, _log_work(input_rows))  # prefix sum
     cost += _kernel_ns(spec, input_rows)  # scatter
     cost += output_rows * row_bytes * spec.materialize_ns_per_byte
@@ -190,6 +202,7 @@ class _Estimate:
 
 def estimate_flat_plan_ns(
     catalog, spec: DeviceSpec, plan: Plan, selectivity=None,
+    fused: bool = False,
 ) -> float:
     """Walk a flat plan, estimating cardinalities and summing Eq. (1)-(5).
 
@@ -215,7 +228,9 @@ def estimate_flat_plan_ns(
                 selectivity *= builder._selectivity(predicate, node.table)
             out = max(1.0, rows * selectivity)
             if node.filters:
-                cost += selection_cost_ns(spec, rows, len(node.filters), out, row_bytes)
+                cost += selection_cost_ns(
+                    spec, rows, len(node.filters), out, row_bytes, fused=fused
+                )
                 rows = out
             return _Estimate(rows, row_bytes, cost)
         if isinstance(node, DerivedScan):
@@ -270,7 +285,7 @@ def estimate_flat_plan_ns(
             child = walk(node.child)
             out = max(1.0, child.rows * 0.3)
             cost = child.cost_ns + selection_cost_ns(
-                spec, child.rows, 1, out, child.row_bytes
+                spec, child.rows, 1, out, child.row_bytes, fused=fused
             )
             return _Estimate(out, child.row_bytes, cost)
         if isinstance(node, SubqueryFilter):
@@ -280,7 +295,7 @@ def estimate_flat_plan_ns(
             inner_cost = walk(inner_plan).cost_ns if inner_plan is not None else 0.0
             out = max(1.0, child.rows * 0.3)
             cost = child.cost_ns + inner_cost + selection_cost_ns(
-                spec, child.rows, 1, out, child.row_bytes
+                spec, child.rows, 1, out, child.row_bytes, fused=fused
             )
             return _Estimate(out, child.row_bytes, cost)
         if isinstance(node, Aggregate):
@@ -401,6 +416,9 @@ def predict_nested(system, prepared, probe_iterations: int = 4) -> NestedPredict
         spec for spec in prepared.program.specs
         if spec.descriptor is target.descriptor
     )
+    # the probe always runs unfused, even for a fused program: path
+    # prediction is structure-preserving (see predict_paths) and the
+    # unfused time is a safe upper bound on the fused run
     sp = SubqueryProgram(ctx, spec_entry.descriptor, spec_entry.plan,
                          system.options.vector_batch)
     runtime = Runtime(ctx, prepared.program.nodes, [sp])
@@ -513,6 +531,17 @@ def predict_paths(system, nested_prepared, unnested_prepared) -> tuple[float, fl
     iterations run for real); the unnested side is fully analytic, so
     it is the one the engine's current — possibly recalibrated —
     coefficient set parameterises.
+
+    The *estimated* legs are deliberately costed **unfused** even when
+    the engine will fuse the winner: the analytic fused twin of the
+    flat plan is optimistic against the nested side's measured probes
+    and would flip the choice to a path that is slower when both
+    actually run fused.  The one exception is the nested side's
+    full-measurement fallback (stacked or quantified subqueries),
+    which runs the program exactly as prepared — fused if fusion is
+    on — because a real measurement is never optimistic: when the
+    fused nested run genuinely beats the flat estimate, that flip is
+    a win, not a modelling artefact.
     """
     nested = predict_nested(system, nested_prepared)
     coefficients = getattr(system, "coefficients", None) or system.device_spec

@@ -25,6 +25,13 @@ from ..sql import parse
 from ..storage import Catalog
 from .calibrator import CostCoefficients
 from .codegen import DriveProgram, generate_drive_program
+from .fusion import (
+    FUSION_OFF,
+    FusionDecision,
+    FusionPlan,
+    FusionTuner,
+    plan_fingerprint,
+)
 from .runtime import Runtime, SubqueryProgram
 from .subquery import AdaptiveGovernor, AdaptiveSwitch
 
@@ -106,6 +113,9 @@ class PreparedQuery:
     # (the adaptive governor's abandon budget)
     fallback: "PreparedQuery | None" = None
     unnested_ms: float | None = None
+    # data-path fusion (core.fusion): how this program's fusion state
+    # was chosen — off, forced on, or measured by the FusionTuner
+    fusion_decision: FusionDecision = FUSION_OFF
 
 
 class NestGPU:
@@ -146,6 +156,9 @@ class NestGPU:
         self.selectivity = (
             ExactSelectivity(catalog) if self.options.exact_selectivity else None
         )
+        # fusion autotuner (options.fusion == 'auto'): measured fused vs
+        # unfused decisions cached per plan shape and coefficient version
+        self.fusion_tuner = FusionTuner()
 
     def set_coefficients(self, coefficients: CostCoefficients) -> None:
         """Swap in a new coefficient set (atomic: one attribute store).
@@ -386,7 +399,14 @@ class NestGPU:
         from ..plan.nodes import explain as explain_plan
 
         prepared = self.prepare(sql, mode)
-        lines = [f"execution path: {prepared.choice}", "", "outer plan:"]
+        lines = [f"execution path: {prepared.choice}"]
+        decision = prepared.fusion_decision
+        if decision.source != "off":
+            lines.append(f"fusion: {decision.describe()}")
+            if prepared.program.fusion is not None:
+                for site in prepared.program.fusion.describe():
+                    lines.append(f"  fused {site}")
+        lines += ["", "outer plan:"]
         lines.append(explain_plan(prepared.plan))
         for k, spec in enumerate(prepared.program.specs):
             descriptor = spec.descriptor
@@ -430,6 +450,26 @@ class NestGPU:
         metrics.counter("subquery.batches").inc(
             sum(result.subquery_batches.values())
         )
+        decision = prepared.fusion_decision
+        if decision.source != "off":
+            metrics.counter(f"codegen.fusion.decision.{decision.source}").inc()
+            if decision.fused:
+                metrics.counter("codegen.fusion.queries_fused").inc()
+        if stats.fused_launches:
+            metrics.counter("codegen.fusion.fused_launches").inc(
+                stats.fused_launches
+            )
+            metrics.counter("codegen.fusion.fused_kernels").inc(
+                stats.fused_kernels
+            )
+            metrics.counter("codegen.fusion.saved_launches").inc(
+                stats.fused_kernels - stats.fused_launches
+            )
+        tuner = self.fusion_tuner.stats()
+        if tuner["probes"]:
+            metrics.gauge("codegen.fusion.tuner.entries").set(tuner["entries"])
+            metrics.gauge("codegen.fusion.tuner.hits").set(tuner["hits"])
+            metrics.gauge("codegen.fusion.tuner.misses").set(tuner["misses"])
         metrics.counter("kernel.launches").inc(stats.kernel_launches)
         for tag, count in stats.launches_by_tag.items():
             metrics.counter(f"kernel.launches.{tag}").inc(count)
@@ -500,8 +540,10 @@ class NestGPU:
 
             prune_scan_columns(plan, self.catalog)
         with tracer.span("codegen", "phase", path=choice):
-            program = generate_drive_program(builder, plan)
-        return PreparedQuery(block, plan, program, choice, sql=sql)
+            program, decision = self._generate_with_fusion(builder, plan)
+        return PreparedQuery(
+            block, plan, program, choice, sql=sql, fusion_decision=decision
+        )
 
     def _prepare_unnested(self, sql: str, tracer=NULL_TRACER) -> PreparedQuery:
         with tracer.span("parse", "phase", path="unnested"):
@@ -515,12 +557,64 @@ class NestGPU:
             )
             plan = builder.build(block)
         with tracer.span("codegen", "phase", path="unnested"):
-            program = generate_drive_program(builder, plan)
-        return PreparedQuery(block, plan, program, "unnested", sql=sql)
+            program, decision = self._generate_with_fusion(builder, plan)
+        return PreparedQuery(
+            block, plan, program, "unnested", sql=sql, fusion_decision=decision
+        )
+
+    def _generate_with_fusion(self, builder, plan):
+        """Generate the drive program under ``options.fusion``.
+
+        ``'off'`` emits the historical one-launch-per-primitive program.
+        ``'on'`` forces every fusible site through the fused entry
+        points.  ``'auto'`` generates both variants and asks the
+        :class:`FusionTuner`, which measures each candidate's modelled
+        time on a private device the first time a plan shape is seen
+        under the current coefficient version, then serves the cached
+        winner.
+        """
+        mode = self.options.fusion
+        if mode == "off":
+            return generate_drive_program(builder, plan), FUSION_OFF
+        fusion = FusionPlan()
+        fused_program = generate_drive_program(builder, plan, fusion=fusion)
+        sites = len(fusion.sites)
+        if sites == 0:
+            # nothing fusible in this program: keep the unfused emission
+            # so drive sources stay byte-stable for snapshot tests
+            return generate_drive_program(builder, plan), FUSION_OFF
+        if mode == "on":
+            return fused_program, FusionDecision(
+                source="forced", fused=True, sites=sites
+            )
+        if mode != "auto":
+            raise ValueError(f"unknown fusion mode {mode!r}")
+        unfused_program = generate_drive_program(builder, plan)
+        decision = self.fusion_tuner.decide(
+            plan_fingerprint(plan),
+            self.coefficients.version,
+            sites,
+            lambda: self._measure_program(unfused_program),
+            lambda: self._measure_program(fused_program),
+        )
+        return (fused_program if decision.fused else unfused_program), decision
+
+    def _measure_program(self, program: DriveProgram) -> float:
+        """Modelled end-to-end ns of one candidate program on a private
+        device (the tuner's benchmark harness; never observed)."""
+        device = Device(self.device_spec)
+        ctx = ExecutionContext(self.catalog, device, self.options)
+        self._preload(ctx, program)
+        self._execute_program(ctx, program)
+        return device.stats.total_ns
 
     def _execute_program(self, ctx, program: DriveProgram, governor=None):
+        fused = program.fusion is not None
         subprograms = [
-            SubqueryProgram(ctx, spec.descriptor, spec.plan, self.options.vector_batch)
+            SubqueryProgram(
+                ctx, spec.descriptor, spec.plan, self.options.vector_batch,
+                fused=fused,
+            )
             for spec in program.specs
         ]
         runtime = Runtime(ctx, program.nodes, subprograms)

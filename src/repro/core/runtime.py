@@ -45,10 +45,15 @@ from .subquery import (
 class SubqueryProgram:
     """Compiled state for one SUBQ: plan, invariants, caches, indexes."""
 
-    def __init__(self, ctx, descriptor, plan: Plan, batch_size: int):
+    def __init__(self, ctx, descriptor, plan: Plan, batch_size: int,
+                 fused: bool = False):
         self.ctx = ctx
         self.descriptor = descriptor
         self.plan = plan
+        # data-path fusion (core.fusion): fuse the predicate chains and
+        # compaction tails of this subquery's scans/filters, including
+        # the vectorized batch path
+        self.fused = fused
         self.info: InvariantInfo = mark_invariants(plan)
         self.param_quals: tuple[str, ...] = descriptor.free_quals
         self.cache = SubqueryCache(
@@ -102,7 +107,8 @@ class SubqueryProgram:
             return self._base_memo[key]
         plain = [f for f in node.filters if not referenced_params(f)]
         rel = ops.scan(
-            self.ctx, node.table, node.binding, plain, None, node.columns
+            self.ctx, node.table, node.binding, plain, None, node.columns,
+            fused=self.fused,
         )
         if self.ctx.options.use_invariant_extraction:
             self._base_memo[key] = rel
@@ -248,6 +254,15 @@ class Runtime:
             self.ctx, node.table, node.binding, node.filters, None, node.columns
         ))
 
+    def f_scan(self, node_id: int) -> Relation:
+        """Fused twin of :meth:`scan`: the predicate chain and the
+        compaction tail charge one fused launch (core.fusion)."""
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.scan(
+            self.ctx, node.table, node.binding, node.filters, None,
+            node.columns, fused=True,
+        ))
+
     def derived(self, node_id: int, inner: Relation) -> Relation:
         node = self.nodes[node_id]
         return inner.renamed_prefix(node.binding)
@@ -266,6 +281,13 @@ class Runtime:
         node = self.nodes[node_id]
         return self._timed(node_id, lambda: ops.filter_rel(
             self.ctx, rel, node.predicate
+        ))
+
+    def f_filter(self, node_id: int, rel: Relation) -> Relation:
+        """Fused twin of :meth:`filter` (one launch per chain)."""
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.filter_rel(
+            self.ctx, rel, node.predicate, fused=True
         ))
 
     def semi_join(self, node_id: int, outer: Relation, inner: Relation) -> Relation:
@@ -469,15 +491,46 @@ class Runtime:
         node = self.nodes[node_id]
         return self._timed(node_id, lambda: self._t_scan(sp, node, env))
 
-    def _t_scan(self, sp: SubqueryProgram, node: Scan, env) -> Relation:
+    def t_f_scan(self, sp: SubqueryProgram, node_id: int, env) -> Relation:
+        """Fused twin of :meth:`t_scan` (core.fusion)."""
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: self._t_scan(
+            sp, node, env, fused=True
+        ))
+
+    def _t_scan(
+        self, sp: SubqueryProgram, node: Scan, env, fused: bool = False
+    ) -> Relation:
         """Transient scan: base rows + the correlated predicate.
 
         Uses the sorted index (binary search + slice gather) when one
-        was built; otherwise a full compare kernel over the base.
+        was built; otherwise a full compare kernel over the base.  The
+        fused path keeps the index fast path (it beats any fusion) and
+        collapses the remaining correlated predicates plus the
+        compaction tail into one fused launch.
         """
         base = sp.base_relation(node)
         correlated = [f for f in node.filters if referenced_params(f)]
         rel = base
+        if fused:
+            remaining = correlated
+            if correlated:
+                eq = vectorize._equality_correlation(correlated[0])
+                if eq is not None:
+                    key_col, qual = eq
+                    index = sp.scan_index(node, base, key_col)
+                    if index is not None:
+                        self.ctx.index_probes += 1
+                        rows = index.lookup(self.ctx.device, env[qual])
+                        rel = rel.take_no_charge(rows)
+                        ops._materialize(self.ctx, rel)
+                        remaining = correlated[1:]
+            if remaining:
+                rel = ops.filter_rel_multi(
+                    self.ctx, rel, remaining, env, fused=True
+                )
+            self.ctx.operator_done()
+            return rel
         for position, predicate in enumerate(correlated):
             eq = vectorize._equality_correlation(predicate)
             if position == 0 and eq is not None:
@@ -538,6 +591,13 @@ class Runtime:
             node_id, lambda: ops.filter_rel(self.ctx, rel, node.predicate, env)
         )
 
+    def t_f_filter(self, sp, node_id: int, rel: Relation, env) -> Relation:
+        """Fused twin of :meth:`t_filter` (core.fusion)."""
+        node = self.nodes[node_id]
+        return self._timed(node_id, lambda: ops.filter_rel(
+            self.ctx, rel, node.predicate, env, fused=True
+        ))
+
     def t_aggregate(self, sp, node_id: int, rel: Relation, env) -> Relation:
         node = self.nodes[node_id]
         return self._timed(node_id, lambda: ops.aggregate(
@@ -571,11 +631,14 @@ class Runtime:
             if not sp.info.is_transient(node):
                 return sp.invariant_relation(node)
             if isinstance(node, Scan):
-                return self._t_scan(sp, node, env)
+                return self._t_scan(sp, node, env, fused=sp.fused)
             if isinstance(node, Join):
                 return self._t_join(sp, node, walk(node.left), walk(node.right), env)
             if isinstance(node, Filter):
-                return ops.filter_rel(self.ctx, walk(node.child), node.predicate, env)
+                return ops.filter_rel(
+                    self.ctx, walk(node.child), node.predicate, env,
+                    fused=sp.fused,
+                )
             if isinstance(node, Aggregate):
                 return ops.aggregate(
                     self.ctx, walk(node.child), node.groups, node.aggs,
@@ -744,7 +807,32 @@ class Runtime:
             node_id, lambda: self._apply_predicate(node, outer, vectors)
         )
 
+    def f_apply_subquery_predicate(
+        self, node_id: int, outer: Relation, vectors: dict[int, object]
+    ) -> Relation:
+        """Fused twin of :meth:`apply_subquery_predicate`: the 3VL
+        predicate tree over the result vectors and the compaction tail
+        charge one fused launch (core.fusion)."""
+        self.tracer.close_siblings("subquery")
+        node = self.nodes[node_id]
+        return self._timed(
+            node_id,
+            lambda: self._apply_predicate(node, outer, vectors, fused=True),
+        )
+
     def _apply_predicate(
+        self,
+        node: SubqueryFilter,
+        outer: Relation,
+        vectors: dict[int, object],
+        fused: bool = False,
+    ) -> Relation:
+        if fused:
+            with kernels.fused(self.ctx.device, "fused_predicate"):
+                return self._apply_predicate_inner(node, outer, vectors)
+        return self._apply_predicate_inner(node, outer, vectors)
+
+    def _apply_predicate_inner(
         self, node: SubqueryFilter, outer: Relation, vectors: dict[int, object]
     ) -> Relation:
         from ..plan.unnest import _replace_subquery_refs

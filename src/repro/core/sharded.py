@@ -90,6 +90,7 @@ from ..storage import (
 )
 from .calibrator import CostCoefficients
 from .codegen import DriveProgram, generate_drive_program
+from .fusion import FusionPlan
 from .costmodel import _kernel_ns, gather_cost_ns, repartition_cost_ns
 from .executor import NestGPU, PreparedQuery, QueryResult, preload_columns
 from .runtime import Runtime, SubqueryProgram
@@ -453,7 +454,15 @@ class ShardedEngine:
             unnest=(solo.choice == "unnested"),
             exact_selectivity=self.planner.selectivity,
         )
-        program = generate_drive_program(builder, body, fetch_result=False)
+        # the body program inherits the solo plan's fusion state, so a
+        # fused engine runs fused on every shard (and `--no-fusion`
+        # totals stay bit-identical to pre-fusion sharded runs)
+        body_fusion = (
+            FusionPlan() if solo.program.fusion is not None else None
+        )
+        program = generate_drive_program(
+            builder, body, fetch_result=False, fusion=body_fusion
+        )
         spec_scans = [
             node
             for spec in program.specs
@@ -967,6 +976,7 @@ class ShardedEngine:
                         spec.descriptor,
                         spec.plan,
                         self.options.vector_batch,
+                        fused=program.fusion is not None,
                     )
                     for spec in program.specs
                 ]

@@ -200,11 +200,23 @@ def _eval_scan(sp, node: Scan, batch, num_segments) -> SegRelation:
 
     index = sp.scan_index(node, base, key_col)
     if index is not None:
+        # the index fast path already beats any fusion of the full scan
         sp.ctx.index_probes += len(params)
         rows, seg = index.lookup_batch(sp.ctx.device, params)
-    else:
-        # unindexed: one fused kernel doing B scans over the base
-        device = sp.ctx.device
+        rel = base.take_no_charge(rows)
+        ops._materialize(sp.ctx, rel)
+        out = SegRelation(rel, seg, num_segments)
+        for predicate in correlated[1:]:
+            out = _apply_seg_filter(sp, out, predicate, batch)
+        sp.ctx.operator_done()
+        return out
+
+    # unindexed: one fused kernel doing B scans over the base; with the
+    # fusion pass on, the remaining correlated predicates join it in a
+    # single fused launch instead of per-stage compare/compact chains
+    device = sp.ctx.device
+    scope = device.begin_fused("fused_scan") if sp.fused else None
+    try:
         device.launch("scan_compare", base.num_rows * len(params))
         keys = base.column(key_col.qual).data
         order = np.argsort(keys, kind="stable")
@@ -217,27 +229,38 @@ def _eval_scan(sp, node: Scan, batch, num_segments) -> SegRelation:
         offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
         rows = order[starts + offsets]
 
-    rel = base.take_no_charge(rows)
-    ops._materialize(sp.ctx, rel)
-    out = SegRelation(rel, seg, num_segments)
-    # remaining correlated predicates (composite correlations)
-    for predicate in correlated[1:]:
-        out = _apply_seg_filter(sp, out, predicate, batch)
+        rel = base.take_no_charge(rows)
+        ops._materialize(sp.ctx, rel)
+        out = SegRelation(rel, seg, num_segments)
+        # remaining correlated predicates (composite correlations)
+        for predicate in correlated[1:]:
+            out = _apply_seg_filter(sp, out, predicate, batch)
+    finally:
+        device.end_fused(scope)
     sp.ctx.operator_done()
     return out
 
 
 def _apply_seg_filter(sp, seg_rel: SegRelation, predicate, batch) -> SegRelation:
+    """One segmented filter stage; fused internally when ``sp.fused``
+    (the predicate tree and its compaction collapse into one launch —
+    or into an enclosing fused scope, since nested scopes flatten)."""
     env = _seg_env(batch, seg_rel.seg)
-    mask = evaluate(predicate, seg_rel.rel, sp.ctx, env)
-    if not isinstance(mask, np.ndarray):
-        if mask:
-            return seg_rel
-        empty = np.empty(0, dtype=np.int64)
-        return SegRelation(
-            seg_rel.rel.take_no_charge(empty), seg_rel.seg[empty], seg_rel.num_segments
-        )
-    indices = kernels.compact(sp.ctx.device, mask)
+    device = sp.ctx.device
+    scope = device.begin_fused("fused_filter") if sp.fused else None
+    try:
+        mask = evaluate(predicate, seg_rel.rel, sp.ctx, env)
+        if not isinstance(mask, np.ndarray):
+            if mask:
+                return seg_rel
+            empty = np.empty(0, dtype=np.int64)
+            return SegRelation(
+                seg_rel.rel.take_no_charge(empty), seg_rel.seg[empty],
+                seg_rel.num_segments,
+            )
+        indices = kernels.compact(device, mask)
+    finally:
+        device.end_fused(scope)
     rel = seg_rel.rel.take_no_charge(indices)
     ops._materialize(sp.ctx, rel)
     return SegRelation(rel, seg_rel.seg[indices], seg_rel.num_segments)

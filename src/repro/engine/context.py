@@ -36,6 +36,12 @@ class EngineOptions:
     adaptive: bool = True
     adaptive_min_batches: int = 2
     adaptive_hysteresis: float = 1.5
+    # data-path kernel fusion in codegen (core.fusion): "off" keeps the
+    # one-launch-per-primitive pipeline (and pre-fusion modelled totals
+    # bit-identical), "on" forces every fusible site fused, "auto" lets
+    # the FusionTuner benchmark fused vs unfused per plan shape and
+    # cache the winner
+    fusion: str = "off"
 
     @staticmethod
     def all_off() -> "EngineOptions":

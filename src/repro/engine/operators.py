@@ -20,20 +20,12 @@ from .exprs import evaluate
 from .relation import Relation, computed_column
 
 
-def scan(ctx, table_name: str, binding: str, filters: list[PlanExpr],
-         env=None, columns: list[str] | None = None) -> Relation:
-    """Scan a base table with pushed-down predicates.
+def _selection_mask(ctx, rel: Relation, filters: list[PlanExpr], env):
+    """Evaluate a predicate conjunction to a single 0/1 mask.
 
-    Referenced columns are moved to the device on first touch; the
-    filtered result is materialised into the intermediate pool.
+    Returns ``None`` when every predicate folded to a constant truth
+    (no kernel ran, the relation passes through unfiltered).
     """
-    table = ctx.catalog.table(table_name)
-    names = columns if columns else table.column_names
-    for name in names:
-        ctx.load_column(table_name, name)
-    rel = Relation.from_table(table, binding, names)
-    if not filters:
-        return rel
     mask = None
     for predicate in filters:
         result = evaluate(predicate, rel, ctx, env)
@@ -43,23 +35,90 @@ def scan(ctx, table_name: str, binding: str, filters: list[PlanExpr],
                 break
             continue
         mask = result if mask is None else kernels.logical_and(ctx.device, mask, result)
-    if mask is None:
+    return mask
+
+
+def scan(ctx, table_name: str, binding: str, filters: list[PlanExpr],
+         env=None, columns: list[str] | None = None,
+         fused: bool = False) -> Relation:
+    """Scan a base table with pushed-down predicates.
+
+    Referenced columns are moved to the device on first touch; the
+    filtered result is materialised into the intermediate pool.
+    ``fused=True`` charges the whole predicate chain and compaction
+    tail as one fused kernel launch (rows are bit-identical).
+    """
+    table = ctx.catalog.table(table_name)
+    names = columns if columns else table.column_names
+    for name in names:
+        ctx.load_column(table_name, name)
+    rel = Relation.from_table(table, binding, names)
+    if not filters:
         return rel
-    indices = kernels.compact(ctx.device, mask)
+    if fused:
+        with kernels.fused(ctx.device, "fused_scan"):
+            mask = _selection_mask(ctx, rel, filters, env)
+            indices = None if mask is None else kernels.compact(ctx.device, mask)
+    else:
+        mask = _selection_mask(ctx, rel, filters, env)
+        indices = None if mask is None else kernels.compact(ctx.device, mask)
+    if indices is None:
+        return rel
     out = rel.take_no_charge(indices)
     _materialize(ctx, out)
     ctx.operator_done()
     return out
 
 
-def filter_rel(ctx, rel: Relation, predicate: PlanExpr, env=None) -> Relation:
+def filter_rel(ctx, rel: Relation, predicate: PlanExpr, env=None,
+               fused: bool = False) -> Relation:
     """Selection over an intermediate relation."""
-    result = evaluate(predicate, rel, ctx, env)
-    if not isinstance(result, np.ndarray):
-        if result:
-            return rel
-        return rel.take_no_charge(np.empty(0, dtype=np.int64))
-    indices = kernels.compact(ctx.device, result)
+    if fused:
+        with kernels.fused(ctx.device, "fused_filter"):
+            result = evaluate(predicate, rel, ctx, env)
+            indices = (
+                kernels.compact(ctx.device, result)
+                if isinstance(result, np.ndarray) else None
+            )
+        if indices is None:
+            if result:
+                return rel
+            return rel.take_no_charge(np.empty(0, dtype=np.int64))
+    else:
+        result = evaluate(predicate, rel, ctx, env)
+        if not isinstance(result, np.ndarray):
+            if result:
+                return rel
+            return rel.take_no_charge(np.empty(0, dtype=np.int64))
+        indices = kernels.compact(ctx.device, result)
+    out = rel.take_no_charge(indices)
+    _materialize(ctx, out)
+    ctx.operator_done()
+    return out
+
+
+def filter_rel_multi(ctx, rel: Relation, predicates: list[PlanExpr],
+                     env=None, fused: bool = False) -> Relation:
+    """A conjunction of selections over an intermediate relation.
+
+    Unfused, each predicate is its own selection stage (the historical
+    pipeline: every stage compacts and materialises, narrowing the next
+    stage's input).  Fused, every mask is evaluated over the *same*
+    input width and the chain pays one fused launch, one compact and
+    one materialise — the launch/materialisation savings the
+    FusionTuner weighs against the extra full-width predicate work.
+    """
+    if not predicates:
+        return rel
+    if not fused:
+        for predicate in predicates:
+            rel = filter_rel(ctx, rel, predicate, env)
+        return rel
+    with kernels.fused(ctx.device, "fused_filter"):
+        mask = _selection_mask(ctx, rel, predicates, env)
+        indices = None if mask is None else kernels.compact(ctx.device, mask)
+    if indices is None:
+        return rel
     out = rel.take_no_charge(indices)
     _materialize(ctx, out)
     ctx.operator_done()

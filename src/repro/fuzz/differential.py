@@ -45,19 +45,26 @@ _FLAGS = (
 def config_matrix(name: str = "full") -> list[tuple[str, EngineOptions]]:
     """Named optimization-configuration matrices.
 
-    * ``full`` — all-on, each optimization individually off, all-off
-      (7 configurations: every single-flag ablation).
-    * ``minimal`` — all-on and all-off.
+    * ``full`` — all-on, the fused leg, each optimization individually
+      off, all-off (8 configurations: every single-flag ablation plus
+      kernel fusion forced on).
+    * ``minimal`` — all-on, fused, and all-off.
     * ``single`` — just the default (all-on) configuration.
+
+    The ``fused`` leg forces :attr:`EngineOptions.fusion` to ``"on"``
+    with every optimization at its default, so each fuzzed query is a
+    three-way differential — oracle vs unfused vs fused — and any row
+    divergence introduced by a fused launch chain fails the campaign.
     """
     all_on = ("all-on", EngineOptions())
+    fused = ("fused", EngineOptions(fusion="on"))
     if name == "single":
         return [all_on]
     if name == "minimal":
-        return [all_on, ("all-off", EngineOptions.all_off())]
+        return [all_on, fused, ("all-off", EngineOptions.all_off())]
     if name != "full":
         raise ValueError(f"unknown config matrix {name!r}")
-    configs = [all_on]
+    configs = [all_on, fused]
     for flag in _FLAGS:
         label = "no-" + flag.replace("use_", "").replace("_", "-")
         configs.append((label, EngineOptions(**{flag: False})))

@@ -303,6 +303,23 @@ def _proposals(expr: ast.Expr) -> list[ast.Expr]:
     if isinstance(expr, ast.SubqueryExpr):
         # a both-sides comparison degrades to a one-subquery comparison
         return [ast.Literal(0, "int")]
+    # the next two target kernel-fusion divergences: a fused predicate
+    # chain is one mask kernel per comparison / IN membership, so
+    # halving an IN-list or degrading BETWEEN to one bound isolates
+    # which mask of the fused chain disagrees with the unfused run
+    if isinstance(expr, ast.InExpr) and expr.query is None and len(expr.values) > 1:
+        half = len(expr.values) // 2
+        return [
+            ast.InExpr(expr.operand, values=expr.values[:half],
+                       negated=expr.negated),
+            ast.InExpr(expr.operand, values=expr.values[half:],
+                       negated=expr.negated),
+        ]
+    if isinstance(expr, ast.BetweenExpr) and not expr.negated:
+        return [
+            ast.BinaryOp(">=", expr.operand, expr.low),
+            ast.BinaryOp("<=", expr.operand, expr.high),
+        ]
     return []
 
 

@@ -17,6 +17,23 @@ from .spec import DeviceSpec
 from .stats import ExecutionStats
 
 
+class _FusionScope:
+    """Accumulator for kernel launches absorbed into one fused launch.
+
+    While a scope is open on a device, :meth:`Device.launch` adds its
+    iteration count here instead of charging the clock; closing the
+    scope charges a single launch of the combined work.
+    """
+
+    __slots__ = ("tag", "iterations", "kernels", "elements")
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.iterations = 0.0  # sum of ceil(elements/threads) * work
+        self.kernels = 0
+        self.elements = 0  # widest absorbed launch, for the trace span
+
+
 class Device:
     """A simulated GPU accumulating modelled time and memory usage.
 
@@ -39,6 +56,7 @@ class Device:
     _GUARDED_METHODS = (
         "alloc", "free", "launch", "materialize",
         "transfer_h2d", "transfer_d2h", "transfer_peer", "reset",
+        "begin_fused", "end_fused",
     )
 
     def __init__(self, spec: DeviceSpec, tracer=None):
@@ -51,6 +69,9 @@ class Device:
         # Like the tracer, None keeps the hot path at one attribute
         # check and modelled times bit-identical.
         self.sampler = None
+        # open fusion scope (see begin_fused); None keeps launch() at
+        # one attribute check when fusion is off.
+        self._fusion = None
 
     # -- memory ---------------------------------------------------------
 
@@ -111,6 +132,13 @@ class Device:
         plain scan, sort ~ log n).  Returns the charged nanoseconds.
         """
         iterations = math.ceil(elements / self.spec.threads) if elements > 0 else 0
+        if self._fusion is not None:
+            scope = self._fusion
+            scope.iterations += iterations * work
+            scope.kernels += 1
+            if elements > scope.elements:
+                scope.elements = elements
+            return 0.0
         time_ns = self.spec.launch_overhead_ns + iterations * self.spec.iteration_ns * work
         self.stats.kernel_launches += 1
         self.stats.kernel_time_ns += time_ns
@@ -122,6 +150,60 @@ class Device:
             self.sampler.record_kernel(elements, work, time_ns)
         if self.tracer.enabled:
             self.tracer.leaf(tag, "kernel", time_ns, elements=elements)
+        return time_ns
+
+    def begin_fused(self, tag: str) -> "_FusionScope | None":
+        """Open a fusion scope: subsequent :meth:`launch` calls
+        accumulate into one fused launch charged by :meth:`end_fused`.
+
+        Returns the scope token, or ``None`` when a scope is already
+        open — nested fused regions flatten into the outer launch, and
+        the matching ``end_fused(None)`` is a no-op.
+        """
+        if self._fusion is not None:
+            return None
+        self._fusion = _FusionScope(tag)
+        return self._fusion
+
+    def end_fused(self, scope: "_FusionScope | None") -> float:
+        """Close a fusion scope and charge the single combined launch.
+
+        The fused launch pays one ``launch_overhead_ns`` plus the sum
+        of every absorbed kernel's iteration time — the intermediate
+        launch overheads are exactly what fusion eliminates.  An empty
+        scope (no launches absorbed) charges nothing.
+        """
+        if scope is None or scope is not self._fusion:
+            return 0.0
+        self._fusion = None
+        if scope.kernels == 0:
+            return 0.0
+        time_ns = (
+            self.spec.launch_overhead_ns
+            + scope.iterations * self.spec.iteration_ns
+        )
+        self.stats.kernel_launches += 1
+        self.stats.fused_launches += 1
+        self.stats.fused_kernels += scope.kernels
+        self.stats.kernel_time_ns += time_ns
+        self.stats.kernel_time_by_tag[scope.tag] = (
+            self.stats.kernel_time_by_tag.get(scope.tag, 0.0) + time_ns
+        )
+        self.stats.launches_by_tag[scope.tag] = (
+            self.stats.launches_by_tag.get(scope.tag, 0) + 1
+        )
+        if self.sampler is not None:
+            # elements=threads makes ceil(elements/threads) == 1, so the
+            # sample's x is exactly the combined iteration count and the
+            # fused charge stays on the calibrator's C + K*x line.
+            self.sampler.record_kernel(
+                self.spec.threads, scope.iterations, time_ns
+            )
+        if self.tracer.enabled:
+            self.tracer.leaf(
+                scope.tag, "kernel", time_ns,
+                elements=scope.elements, fused_kernels=scope.kernels,
+            )
         return time_ns
 
     def materialize(self, nbytes: int) -> float:

@@ -14,6 +14,7 @@ and return fresh arrays.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,54 @@ _COMPARE_OPS = {
 
 def _log_work(n: int) -> float:
     return max(1.0, math.log2(n)) if n > 1 else 1.0
+
+
+# ---------------------------------------------------------------------------
+# kernel fusion
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def fused(device: Device, tag: str):
+    """Fuse every kernel launched in the block into ONE modelled launch.
+
+    The numpy computation of each primitive runs unchanged (results
+    stay bit-identical); only the charging changes — the block pays a
+    single launch overhead plus the combined iteration work, and the
+    device records it under ``tag`` with ``fused_launches`` /
+    ``fused_kernels`` accounting.  Nested ``fused`` blocks flatten into
+    the outermost scope.
+    """
+    scope = device.begin_fused(tag)
+    try:
+        yield
+    finally:
+        device.end_fused(scope)
+
+
+def fused_compact(device: Device, mask: np.ndarray) -> np.ndarray:
+    """The prefix-sum → scatter compaction tail as one fused launch."""
+    with fused(device, "fused_compact"):
+        return compact(device, mask)
+
+
+def fused_select(
+    device: Device, masks: list[np.ndarray], tag: str = "fused_select"
+) -> np.ndarray:
+    """AND a predicate-mask chain and compact it in one fused launch.
+
+    The fused twin of the unfused selection pipeline (k compare kernels
+    → k-1 ``logical_and`` → prefix-sum → scatter): callers evaluate the
+    per-predicate masks inside an enclosing :func:`fused` scope and the
+    whole chain charges a single launch.
+    """
+    if not masks:
+        raise ExecutionError("fused_select requires at least one mask")
+    with fused(device, tag):
+        combined = masks[0]
+        for mask in masks[1:]:
+            combined = logical_and(device, combined, mask)
+        return compact(device, combined)
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,11 @@ class ExecutionStats:
 
     kernel_launches: int = 0
     kernel_time_ns: float = 0.0
+    #: fused scopes charged (each counts once in ``kernel_launches``)
+    #: and the primitive kernels they absorbed — ``fused_kernels -
+    #: fused_launches`` is the number of launches fusion saved.
+    fused_launches: int = 0
+    fused_kernels: int = 0
     materialize_bytes: int = 0
     materialize_time_ns: float = 0.0
     h2d_bytes: int = 0

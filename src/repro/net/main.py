@@ -112,6 +112,9 @@ def build_net_parser() -> argparse.ArgumentParser:
                             "on shutdown")
     serve.add_argument("--flight-recorder-capacity", type=int, default=1024,
                        help="flight-recorder ring size (default 1024)")
+    from ..cli import add_fusion_arguments
+
+    add_fusion_arguments(serve)
 
     run = sub.add_parser("run", help="drive a server as one tenant")
     _add_connection_args(run)
@@ -182,8 +185,11 @@ def _serve(args) -> int:
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
+    from ..cli import fusion_mode
+
     session = EngineSession(
-        generate_tpch(args.scale), device=device, options=EngineOptions(),
+        generate_tpch(args.scale), device=device,
+        options=EngineOptions(fusion=fusion_mode(args)),
         mode=args.mode, metrics=MetricsRegistry(),
         shards=args.shards, interconnect=args.interconnect,
     )

@@ -135,6 +135,17 @@ class AnalyzeReport:
                 f"   cost model predicted: {r.predicted_ms:.4f} ms"
                 f" ({err:+.1f}%)"
             )
+        decision = getattr(p, "fusion_decision", None)
+        if decision is not None and decision.source != "off":
+            fusion = f"fusion: {decision.describe()}"
+            if r.stats.fused_launches:
+                fusion += (
+                    f"   fused launches: {r.stats.fused_launches}"
+                    f" (absorbed {r.stats.fused_kernels} kernels, saved "
+                    f"{r.stats.fused_kernels - r.stats.fused_launches}"
+                    " launches)"
+                )
+            lines.append(fusion)
         lines += [summary, "", "outer plan:"]
         lines += self._tree_lines(p.plan)
         for k, spec in enumerate(p.program.specs):

@@ -103,12 +103,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         "as JSON (requires --calibrate)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print per-query placement lines")
+    from ..cli import add_fusion_arguments
+
+    add_fusion_arguments(parser)
     return parser
 
 
 def verify_solo_identity(statements, catalog_factory, device, mode,
                          shards: int = 1,
-                         interconnect: str = "pcie") -> list[str]:
+                         interconnect: str = "pcie",
+                         fusion: str = "off") -> list[str]:
     """Fresh-session vs single-query engine, per distinct statement.
 
     Returns a list of mismatch descriptions (empty == all bit-identical).
@@ -141,11 +145,12 @@ def verify_solo_identity(statements, catalog_factory, device, mode,
             continue
         seen.add(key)
         solo = NestGPU(
-            catalog_factory(), device=device, options=EngineOptions(),
-            mode=mode,
+            catalog_factory(), device=device,
+            options=EngineOptions(fusion=fusion), mode=mode,
         ).execute(sql)
         with EngineSession(
-            catalog_factory(), device=device, options=EngineOptions(),
+            catalog_factory(), device=device,
+            options=EngineOptions(fusion=fusion),
             mode=mode, shards=shards, interconnect=interconnect,
         ) as session:
             fresh = session.execute(sql)
@@ -281,8 +286,11 @@ def serve_main(argv: list[str] | None = None) -> int:
             print(f"error: --stale-model: {exc}", file=sys.stderr)
             return 2
 
+    from ..cli import fusion_mode
+
     session = EngineSession(
-        catalog_factory(), device=device, options=EngineOptions(),
+        catalog_factory(), device=device,
+        options=EngineOptions(fusion=fusion_mode(args)),
         mode=args.mode, metrics=metrics, coefficients=coefficients,
         shards=args.shards, interconnect=args.interconnect,
     )
@@ -435,6 +443,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         mismatches = verify_solo_identity(
             statements, catalog_factory, device, args.mode,
             shards=args.shards, interconnect=args.interconnect,
+            fusion=fusion_mode(args),
         )
         label = (
             "solo bit-identity" if args.shards == 1

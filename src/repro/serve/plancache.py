@@ -118,6 +118,28 @@ class PlanCache:
                 self.invalidations += 1
             return len(doomed)
 
+    def invalidate_tuned_fusion(self) -> int:
+        """Drop entries whose program was chosen by the fusion tuner.
+
+        Recalibration bumps ``CostCoefficients.version``; the tuner's
+        own cache treats stale versions as misses, but a session plan
+        cache holding a *tuned* :class:`PreparedQuery` would keep
+        serving the old winner without ever re-asking the tuner.  Forced
+        (``fusion='on'``) and off entries are version-independent and
+        survive.  Returns the eviction count.
+        """
+        with self._lock:
+            doomed = [
+                k for k, prepared in self._entries.items()
+                if getattr(prepared, "fusion_decision", None) is not None
+                and prepared.fusion_decision.source == "tuned"
+            ]
+            for k in doomed:
+                del self._entries[k]
+            if doomed:
+                self.invalidations += 1
+            return len(doomed)
+
     @property
     def hit_ratio(self) -> float:
         probes = self.hits + self.misses

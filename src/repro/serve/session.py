@@ -299,14 +299,23 @@ class EngineSession:
                 return None
             self.engine.set_coefficients(fitted)
             evicted = self.plan_cache.invalidate_mode("auto")
+            # tuned fusion decisions were measured under the old
+            # coefficients: drop the tuner's cache (version-keyed, but
+            # clearing keeps it from growing one dead generation per
+            # refit) and evict plans that baked a tuned program in
+            fusion_evicted = self.plan_cache.invalidate_tuned_fusion()
+            self.engine.fusion_tuner.invalidate()
             if self.metrics is not None:
                 self.metrics.counter("costmodel.recalibrations").inc()
-                self.metrics.counter("costmodel.plans_invalidated").inc(evicted)
+                self.metrics.counter("costmodel.plans_invalidated").inc(
+                    evicted + fusion_evicted
+                )
                 self.metrics.gauge("costmodel.version").set(fitted.version)
             return {
                 "coefficients": fitted,
                 "version": fitted.version,
                 "plan_cache_evicted": evicted,
+                "fusion_plans_evicted": fusion_evicted,
                 "samples": self.calibrator.sample_counts(),
             }
 

@@ -1,0 +1,166 @@
+"""Property tests for kernel fusion: correctness is free, cost is less.
+
+Hypothesis drives generated predicate chains and compaction tails
+through the fused and unfused paths and checks the two invariants the
+whole subsystem rests on:
+
+* **bit-identity** — a fused chain selects exactly the rows the
+  unfused chain selects (the numpy computation is shared; only the
+  modelled charging differs);
+* **monotone launches** — the fused run never launches more kernels
+  than the unfused run (it fuses or it leaves alone, it never splits).
+
+Plus the tuner's staleness contract: a cached decision is never served
+across a ``CostCoefficients.version`` bump.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FusionTuner
+from repro.engine import ExecutionContext
+from repro.engine import operators as ops
+from repro.gpu import Device, DeviceSpec, kernels
+from repro.plan.expressions import ColRef, Compare, Const
+
+_OPS = ["<", "<=", ">", ">=", "=", "!="]
+_COLUMNS = [("s_col1", 12), ("s_col2", 50), ("s_col3", 8)]
+
+
+@st.composite
+def predicate_chains(draw):
+    """1..5 comparison predicates over the synthetic S table."""
+    size = draw(st.integers(min_value=1, max_value=5))
+    chain = []
+    for _ in range(size):
+        name, hi = draw(st.sampled_from(_COLUMNS))
+        op = draw(st.sampled_from(_OPS))
+        value = draw(st.integers(min_value=-1, max_value=hi))
+        chain.append(
+            Compare(op, ColRef("s", name, "int"), Const(value))
+        )
+    return chain
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=predicate_chains())
+def test_fused_scan_chain_bit_identical_and_fewer_launches(
+    rst_catalog, chain
+):
+    plain_ctx = ExecutionContext(rst_catalog, Device(DeviceSpec.v100()))
+    fused_ctx = ExecutionContext(rst_catalog, Device(DeviceSpec.v100()))
+    plain = ops.scan(plain_ctx, "s", "s", chain)
+    fused = ops.scan(fused_ctx, "s", "s", chain, fused=True)
+    for column in ("s.s_col1", "s.s_col2", "s.s_col3"):
+        np.testing.assert_array_equal(
+            plain.column(column).data, fused.column(column).data
+        )
+    assert (
+        fused_ctx.device.stats.kernel_launches
+        <= plain_ctx.device.stats.kernel_launches
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=predicate_chains())
+def test_fused_filter_multi_bit_identical_and_fewer_launches(
+    rst_catalog, chain
+):
+    plain_ctx = ExecutionContext(rst_catalog, Device(DeviceSpec.v100()))
+    fused_ctx = ExecutionContext(rst_catalog, Device(DeviceSpec.v100()))
+    plain = ops.filter_rel_multi(
+        plain_ctx, ops.scan(plain_ctx, "s", "s", []), chain
+    )
+    fused = ops.filter_rel_multi(
+        fused_ctx, ops.scan(fused_ctx, "s", "s", []), chain, fused=True
+    )
+    np.testing.assert_array_equal(
+        plain.column("s.s_col2").data, fused.column("s.s_col2").data
+    )
+    assert (
+        fused_ctx.device.stats.kernel_launches
+        <= plain_ctx.device.stats.kernel_launches
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.lists(st.integers(min_value=0, max_value=1),
+                  min_size=0, max_size=200)
+)
+def test_fused_compaction_tail_selects_identical_rows(bits):
+    mask = np.array(bits, dtype=np.int64)
+    fused_dev = Device(DeviceSpec.v100())
+    plain_dev = Device(DeviceSpec.v100())
+    fused_idx = kernels.fused_compact(fused_dev, mask)
+    plain_idx = kernels.compact(plain_dev, mask)
+    np.testing.assert_array_equal(fused_idx, plain_idx)
+    assert (
+        fused_dev.stats.kernel_launches <= plain_dev.stats.kernel_launches
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    masks=st.lists(
+        st.lists(st.integers(min_value=0, max_value=1),
+                 min_size=50, max_size=50),
+        min_size=1, max_size=6,
+    )
+)
+def test_fused_select_equals_sequential_and_chain(masks):
+    arrays = [np.array(m, dtype=np.int64) for m in masks]
+    fused_dev = Device(DeviceSpec.v100())
+    got = kernels.fused_select(fused_dev, arrays)
+    combined = arrays[0].astype(bool)
+    for mask in arrays[1:]:
+        combined = combined & mask.astype(bool)
+    np.testing.assert_array_equal(got, np.flatnonzero(combined))
+    assert fused_dev.stats.kernel_launches == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    versions=st.lists(st.integers(min_value=0, max_value=4),
+                      min_size=2, max_size=10),
+    fused_ns=st.floats(min_value=1.0, max_value=100.0),
+    unfused_ns=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_tuner_never_serves_a_decision_across_a_version_bump(
+    versions, fused_ns, unfused_ns
+):
+    tuner = FusionTuner()
+    for version in versions:
+        decision = tuner.decide(
+            "fingerprint", version, 2,
+            lambda: unfused_ns, lambda: fused_ns,
+        )
+        # whatever the cache did, the decision handed back must have
+        # been measured under the coefficients the caller holds NOW
+        assert decision.coefficients_version == version
+        assert decision.fused == (fused_ns < unfused_ns)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_tuner_cache_hit_only_on_same_fingerprint_and_version(data):
+    tuner = FusionTuner()
+    probes = data.draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["fp-a", "fp-b", "fp-c"]),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=1, max_size=12,
+        )
+    )
+    # the cache keeps ONE decision per fingerprint — the latest; a hit
+    # requires the stored version to match exactly (stale = miss)
+    latest: dict[str, int] = {}
+    expected_hits = 0
+    for fingerprint, version in probes:
+        tuner.decide(fingerprint, version, 1, lambda: 10.0, lambda: 5.0)
+        if latest.get(fingerprint) == version:
+            expected_hits += 1
+        latest[fingerprint] = version
+    assert tuner.stats()["hits"] == expected_hits

@@ -145,10 +145,21 @@ def test_rows_match_tolerates_float_noise():
 
 def test_config_matrix_shapes():
     full = config_matrix("full")
-    assert len(full) == 7
+    assert len(full) == 8
     labels = [name for name, _ in full]
     assert labels[0] == "all-on" and labels[-1] == "all-off"
-    assert len(config_matrix("minimal")) == 2
+    assert labels[1] == "fused"
+    assert len(config_matrix("minimal")) == 3
     assert len(config_matrix("single")) == 1
     with pytest.raises(ValueError):
         config_matrix("bogus")
+
+
+def test_config_matrix_fused_leg_forces_fusion():
+    for name in ("full", "minimal"):
+        options = dict(config_matrix(name))["fused"]
+        assert options.fusion == "on"
+        # every other leg keeps fusion at its bit-identical default
+        for label, other in config_matrix(name):
+            if label != "fused":
+                assert other.fusion == "off"

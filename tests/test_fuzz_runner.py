@@ -93,7 +93,7 @@ def test_runner_keeps_one_session_per_config(fuzz_catalog):
     )
     runner.run("SELECT count(*) AS c FROM region")
     sessions = dict(runner._sessions)
-    assert set(sessions) == {"all-on", "all-off"}
+    assert set(sessions) == {"all-on", "fused", "all-off"}
     runner.run("SELECT count(*) AS c FROM nation")
     assert dict(runner._sessions) == sessions  # same objects, reused
     assert all(s.queries_run >= 2 for s in sessions.values())
